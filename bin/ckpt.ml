@@ -1,0 +1,338 @@
+(* Command-line front end for the checkpointing library.
+
+   Subcommands:
+     period       optimal/heuristic checkpoint periods for a platform
+     simulate     evaluate the full policy roster on simulated traces
+     schedule     a policy's failure-free checkpoint timetable
+     mtbf         platform MTBF under both rejuvenation options
+     waste        first-order waste analysis (Young's back-of-envelope)
+     trace-stats  generate traces and report their empirical statistics
+     gen-log      write a synthetic LANL-style availability log
+     fit-log      MLE-fit lifetime models to an availability log
+     experiment   regenerate a paper table/figure by id *)
+
+open Cmdliner
+module D = Ckpt_distributions
+module P = Ckpt_platform
+module Po = Ckpt_policies
+module S = Ckpt_simulator
+module F = Ckpt_failures
+module C = Ckpt_core
+module E = Ckpt_experiments
+
+(* -- shared argument bundles ------------------------------------------- *)
+
+let mtbf_arg =
+  let doc = "Per-processor MTBF in hours." in
+  Arg.(value & opt float (125. *. 365.25 *. 24.) & info [ "mtbf" ] ~docv:"HOURS" ~doc)
+
+let shape_arg =
+  let doc = "Weibull shape parameter; omit for Exponential failures." in
+  Arg.(value & opt (some float) None & info [ "shape"; "k" ] ~docv:"K" ~doc)
+
+let processors_arg =
+  let doc = "Number of processors enrolled by the job." in
+  Arg.(value & opt int P.Presets.jaguar_processors & info [ "p"; "processors" ] ~docv:"P" ~doc)
+
+let checkpoint_arg =
+  let doc = "Checkpoint (and recovery) cost in seconds." in
+  Arg.(value & opt float 600. & info [ "checkpoint"; "C" ] ~docv:"SECONDS" ~doc)
+
+let downtime_arg =
+  let doc = "Downtime after a failure, seconds." in
+  Arg.(value & opt float 60. & info [ "downtime"; "D" ] ~docv:"SECONDS" ~doc)
+
+let work_days_arg =
+  let doc = "Failure-free execution time of the job on the chosen processors, in days." in
+  Arg.(value & opt float 8. & info [ "work-days" ] ~docv:"DAYS" ~doc)
+
+let traces_arg =
+  let doc = "Number of simulated trace sets." in
+  Arg.(value & opt int 10 & info [ "traces" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 0x5EED & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let distribution ~mtbf_hours ~shape =
+  let mtbf = mtbf_hours *. 3600. in
+  match shape with
+  | None -> D.Exponential.of_mtbf ~mtbf
+  | Some k -> D.Weibull.of_mtbf ~mtbf ~shape:k
+
+let job ~mtbf_hours ~shape ~processors ~checkpoint ~downtime ~work_days =
+  let dist = distribution ~mtbf_hours ~shape in
+  let machine =
+    P.Machine.create ~total_processors:processors ~downtime
+      ~overhead:(P.Overhead.constant checkpoint)
+  in
+  Po.Job.create ~dist ~processors ~machine ~work_time:(work_days *. P.Units.day)
+
+(* -- period ------------------------------------------------------------ *)
+
+let period_cmd =
+  let run mtbf_hours shape processors checkpoint downtime work_days =
+    let job = job ~mtbf_hours ~shape ~processors ~checkpoint ~downtime ~work_days in
+    Printf.printf "platform MTBF: %.0f s\n" (Po.Job.platform_mtbf job);
+    Printf.printf "%-12s %12s\n" "policy" "period (s)";
+    List.iter
+      (fun (name, period) -> Printf.printf "%-12s %12.0f\n" name period)
+      [
+        ("Young", Po.Young.period job);
+        ("DalyLow", Po.Daly.low_order_period job);
+        ("DalyHigh", Po.Daly.high_order_period job);
+        ("OptExp", Po.Optexp.period job);
+        ("Bouguerra", Po.Bouguerra.period job);
+      ];
+    let k =
+      C.Theory.parallel_optimal_chunk_count
+        ~rate:(1. /. Po.Job.unit_mtbf job)
+        ~processors ~parallel_work:job.Po.Job.work_time ~checkpoint
+    in
+    Printf.printf "OptExp chunk count K* = %d\n" k
+  in
+  let term =
+    Term.(
+      const run $ mtbf_arg $ shape_arg $ processors_arg $ checkpoint_arg $ downtime_arg
+      $ work_days_arg)
+  in
+  Cmd.v (Cmd.info "period" ~doc:"Print each heuristic's checkpoint period.") term
+
+(* -- simulate ------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let run mtbf_hours shape processors checkpoint downtime work_days traces seed =
+    let job = job ~mtbf_hours ~shape ~processors ~checkpoint ~downtime ~work_days in
+    let scenario = S.Scenario.create ~seed:(Int64.of_int seed) job in
+    let dp_makespan = shape = None in
+    let policies =
+      [ Po.Young.policy job; Po.Daly.low job; Po.Daly.high job; Po.Optexp.policy job;
+        Po.Bouguerra.policy job; Po.Liu.policy job; S.Period_search.policy scenario;
+        Po.Dp_policies.dp_next_failure job ]
+      @ (if dp_makespan then [ Po.Dp_policies.dp_makespan job ] else [])
+    in
+    let table = S.Evaluation.degradation_table ~scenario ~policies ~replicates:traces in
+    Format.printf "%a@." S.Evaluation.pp_table table
+  in
+  let term =
+    Term.(
+      const run $ mtbf_arg $ shape_arg $ processors_arg $ checkpoint_arg $ downtime_arg
+      $ work_days_arg $ traces_arg $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Evaluate the policy roster on simulated failure traces.")
+    term
+
+(* -- mtbf ---------------------------------------------------------------- *)
+
+let mtbf_cmd =
+  let run mtbf_hours shape processors downtime =
+    let dist = distribution ~mtbf_hours ~shape in
+    List.iter
+      (fun (name, policy) ->
+        let v = F.Rejuvenation.platform_mtbf policy dist ~processors ~downtime in
+        Printf.printf "%-22s %14.1f s  (%.4g h)\n" name v (v /. 3600.))
+      [
+        ("rejuvenate-all", F.Rejuvenation.Rejuvenate_all);
+        ("rejuvenate-failed-only", F.Rejuvenation.Rejuvenate_failed_only);
+      ]
+  in
+  let term = Term.(const run $ mtbf_arg $ shape_arg $ processors_arg $ downtime_arg) in
+  Cmd.v
+    (Cmd.info "mtbf" ~doc:"Platform MTBF under both rejuvenation options (Figure 1).")
+    term
+
+(* -- gen-log -------------------------------------------------------------- *)
+
+let gen_log_cmd =
+  let out_arg =
+    Arg.(value & opt string "lanl_synth.log" & info [ "o"; "output" ] ~docv:"PATH")
+  in
+  let cluster_arg =
+    Arg.(value & opt int 19 & info [ "cluster" ] ~docv:"18|19")
+  in
+  let run out cluster seed =
+    let params =
+      match cluster with
+      | 18 -> F.Lanl_synth.cluster18_parameters
+      | 19 -> F.Lanl_synth.cluster19_parameters
+      | _ -> failwith "cluster must be 18 or 19"
+    in
+    let log = F.Lanl_synth.generate ~seed:(Int64.of_int seed) params in
+    F.Failure_log.save log
+      ~node_of_interval:(fun i -> i / params.F.Lanl_synth.intervals_per_node)
+      out;
+    Printf.printf "wrote %d intervals over %d nodes to %s (mean interval %.3e s)\n"
+      (F.Failure_log.count log) log.F.Failure_log.nodes out (F.Failure_log.mean_interval log)
+  in
+  let term = Term.(const run $ out_arg $ cluster_arg $ seed_arg) in
+  Cmd.v (Cmd.info "gen-log" ~doc:"Write a synthetic LANL-style availability log.") term
+
+(* -- schedule ------------------------------------------------------------------ *)
+
+let schedule_cmd =
+  let policy_arg =
+    let doc = "Policy: young | dalylow | dalyhigh | optexp | bouguerra | liu | dpnf." in
+    Arg.(value & opt string "dpnf" & info [ "policy" ] ~docv:"NAME" ~doc)
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"CSV")
+  in
+  let run mtbf_hours shape processors checkpoint downtime work_days policy_name out =
+    let job = job ~mtbf_hours ~shape ~processors ~checkpoint ~downtime ~work_days in
+    let policy =
+      match String.lowercase_ascii policy_name with
+      | "young" -> Po.Young.policy job
+      | "dalylow" -> Po.Daly.low job
+      | "dalyhigh" -> Po.Daly.high job
+      | "optexp" -> Po.Optexp.policy job
+      | "bouguerra" -> Po.Bouguerra.policy job
+      | "liu" -> Po.Liu.policy job
+      | "dpnf" | "dpnextfailure" -> Po.Dp_policies.dp_next_failure job
+      | other -> failwith (Printf.sprintf "unknown policy %S" other)
+    in
+    let entries = Po.Schedule.failure_free policy job in
+    (match Po.Schedule.interval_range entries with
+    | None -> print_endline "the policy declines to produce a timetable"
+    | Some (lo, hi) ->
+        Printf.printf "%d checkpoints; intervals %.0f .. %.0f s\n" (List.length entries) lo hi;
+        List.iteri
+          (fun i e ->
+            if i < 10 then
+              Printf.printf "  #%-3d work %8.0f s, checkpoint at t = %10.0f s\n" (i + 1)
+                e.Po.Schedule.chunk e.Po.Schedule.checkpoint_at)
+          entries;
+        if List.length entries > 10 then
+          Printf.printf "  ... (%d more)\n" (List.length entries - 10));
+    match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Po.Schedule.to_csv entries);
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+  in
+  let term =
+    Term.(
+      const run $ mtbf_arg $ shape_arg $ processors_arg $ checkpoint_arg $ downtime_arg
+      $ work_days_arg $ policy_arg $ out_arg)
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Print a policy's failure-free checkpoint timetable.")
+    term
+
+(* -- waste ------------------------------------------------------------------- *)
+
+let waste_cmd =
+  let run mtbf_hours processors checkpoint =
+    let mu = mtbf_hours *. 3600. in
+    let m = mu /. float_of_int processors in
+    let period = C.Waste.optimal_period ~checkpoint ~platform_mtbf:m in
+    Printf.printf "platform MTBF:        %14.0f s\n" m;
+    Printf.printf "first-order period:   %14.0f s   (Young)\n" period;
+    Printf.printf "minimal waste:        %14.1f %%\n"
+      (100. *. C.Waste.minimal_waste ~checkpoint ~platform_mtbf:m);
+    Printf.printf "usable-processor cap: %14d    (waste reaches 100%%)\n"
+      (C.Waste.usable_processor_limit ~checkpoint ~processor_mtbf:mu)
+  in
+  let term = Term.(const run $ mtbf_arg $ processors_arg $ checkpoint_arg) in
+  Cmd.v
+    (Cmd.info "waste" ~doc:"First-order waste analysis of periodic checkpointing.")
+    term
+
+(* -- trace-stats --------------------------------------------------------------- *)
+
+let trace_stats_cmd =
+  let horizon_arg =
+    Arg.(value & opt float 11. & info [ "horizon-years" ] ~docv:"YEARS")
+  in
+  let run mtbf_hours shape processors seed horizon_years =
+    let dist = distribution ~mtbf_hours ~shape in
+    let traces =
+      F.Trace_set.generate ~seed:(Int64.of_int seed) ~replicate:0 dist ~processors
+        ~horizon:(horizon_years *. P.Units.year)
+    in
+    Format.printf "%a@." F.Trace_stats.pp (F.Trace_stats.measure traces);
+    let fit = D.Fit.best_fit (F.Trace_stats.interarrivals traces) in
+    Format.printf "best distribution fit: %s (KS %.4f)@."
+      fit.D.Fit.distribution.D.Distribution.name fit.D.Fit.ks_statistic
+  in
+  let term =
+    Term.(const run $ mtbf_arg $ shape_arg $ processors_arg $ seed_arg $ horizon_arg)
+  in
+  Cmd.v
+    (Cmd.info "trace-stats"
+       ~doc:"Generate failure traces and report their empirical statistics and best fit.")
+    term
+
+(* -- fit-log ----------------------------------------------------------------- *)
+
+let fit_log_cmd =
+  let path_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"LOG") in
+  let run path =
+    let log = F.Failure_log.load path in
+    Printf.printf "%s: %d availability intervals over %d nodes, mean %.4g s\n\n" path
+      (F.Failure_log.count log) log.F.Failure_log.nodes (F.Failure_log.mean_interval log);
+    let data = log.F.Failure_log.intervals in
+    Printf.printf "%-14s %14s %12s %10s\n" "model" "log-likelihood" "AIC" "KS";
+    List.iter
+      (fun (name, fit) ->
+        Printf.printf "%-14s %14.1f %12.1f %10.4f   %s\n" name fit.D.Fit.log_likelihood
+          fit.D.Fit.aic fit.D.Fit.ks_statistic
+          fit.D.Fit.distribution.D.Distribution.name)
+      [
+        ("exponential", D.Fit.exponential data);
+        ("weibull", D.Fit.weibull data);
+        ("lognormal", D.Fit.lognormal data);
+      ];
+    let best = D.Fit.best_fit data in
+    Printf.printf "\nbest fit by AIC: %s\n" best.D.Fit.distribution.D.Distribution.name
+  in
+  let term = Term.(const run $ path_arg) in
+  Cmd.v
+    (Cmd.info "fit-log"
+       ~doc:"Fit Exponential/Weibull/LogNormal models to an availability log by MLE.")
+    term
+
+(* -- experiment ------------------------------------------------------------ *)
+
+let experiment_cmd =
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID")
+  in
+  let full_arg = Arg.(value & flag & info [ "full" ] ~doc:"Paper-scale parameters.") in
+  let run id full traces =
+    let config = E.Config.default () in
+    let config =
+      {
+        config with
+        E.Config.full = config.E.Config.full || full;
+        replicates = (if traces > 0 then traces else config.E.Config.replicates);
+      }
+    in
+    if id = "all" then E.Registry.run_all config
+    else begin
+      match E.Registry.find id with
+      | Some e -> e.E.Registry.run config
+      | None ->
+          Printf.eprintf "unknown experiment %S; known: %s\n" id
+            (String.concat ", " (E.Registry.ids ()));
+          exit 2
+    end
+  in
+  let traces_arg =
+    Arg.(value & opt int 0 & info [ "traces" ] ~docv:"N" ~doc:"Replicates per configuration.")
+  in
+  let term = Term.(const run $ id_arg $ full_arg $ traces_arg) in
+  Cmd.v (Cmd.info "experiment" ~doc:"Regenerate a paper table/figure by id (or 'all').") term
+
+let () =
+  let doc = "Checkpointing strategies for parallel jobs (Bougeret et al., SC'11 reproduction)" in
+  let info = Cmd.info "ckpt" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            period_cmd; simulate_cmd; schedule_cmd; mtbf_cmd; waste_cmd; trace_stats_cmd; gen_log_cmd;
+            fit_log_cmd; experiment_cmd;
+          ]))

@@ -1,0 +1,43 @@
+(* Regenerate one paper artifact (or all) by id:
+     dune exec bin/experiments.exe -- fig4
+     dune exec bin/experiments.exe -- all --full
+   Scale knobs also respond to CKPT_TRACES / CKPT_FULL / CKPT_SEED. *)
+
+let usage () =
+  prerr_endline "usage: experiments <id>|all|list [--full] [--traces N]";
+  prerr_endline "known ids:";
+  List.iter
+    (fun e ->
+      Printf.eprintf "  %-12s %s\n" e.Ckpt_experiments.Registry.id
+        e.Ckpt_experiments.Registry.description)
+    (Ckpt_experiments.Registry.all ());
+  exit 2
+
+let () =
+  let module R = Ckpt_experiments.Registry in
+  let module C = Ckpt_experiments.Config in
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse config ids = function
+    | [] -> (config, List.rev ids)
+    | "--full" :: rest -> parse { config with C.full = true } ids rest
+    | "--traces" :: n :: rest -> begin
+        match int_of_string_opt n with
+        | Some n when n > 0 -> parse { config with C.replicates = n } ids rest
+        | Some _ | None -> usage ()
+      end
+    | arg :: rest ->
+        if String.length arg > 0 && arg.[0] = '-' then usage () else parse config (arg :: ids) rest
+  in
+  let config, ids = parse (C.default ()) [] args in
+  match ids with
+  | [] | [ "list" ] -> usage ()
+  | [ "all" ] -> R.run_all config
+  | ids ->
+      List.iter
+        (fun id ->
+          match R.find id with
+          | Some e -> e.R.run config
+          | None ->
+              Printf.eprintf "unknown experiment %S\n" id;
+              usage ())
+        ids

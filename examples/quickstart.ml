@@ -1,0 +1,66 @@
+(* Quickstart: pick a checkpoint strategy for a job and check it by
+   simulation.
+
+     dune exec examples/quickstart.exe
+
+   The job: 4,096 processors, each with a 125-year MTBF, checkpoint
+   and recovery cost 600 s, downtime 60 s, and 30 days of
+   embarrassingly parallel work (per processor). *)
+
+module Distribution = Ckpt_distributions.Distribution
+module Exponential = Ckpt_distributions.Exponential
+module Weibull = Ckpt_distributions.Weibull
+module Machine = Ckpt_platform.Machine
+module Overhead = Ckpt_platform.Overhead
+module Units = Ckpt_platform.Units
+module Theory = Ckpt_core.Theory
+module Job = Ckpt_policies.Job
+module Scenario = Ckpt_simulator.Scenario
+module Evaluation = Ckpt_simulator.Evaluation
+
+let () =
+  let processors = 4096 in
+  let mtbf = Units.of_years 125. in
+  let machine =
+    Machine.create ~total_processors:processors ~downtime:60.
+      ~overhead:(Overhead.constant 600.)
+  in
+  let work_time = Units.of_days 30. in
+
+  (* 1. The closed-form optimum for Exponential failures (Theorem 1 /
+     Proposition 5). *)
+  let rate = 1. /. mtbf in
+  let k_star =
+    Theory.parallel_optimal_chunk_count ~rate ~processors ~parallel_work:work_time
+      ~checkpoint:600.
+  in
+  let period = work_time /. float_of_int k_star in
+  Printf.printf "Optimal (Exponential) strategy: %d chunks of %.0f s each\n" k_star period;
+  let expected =
+    Theory.parallel_expected_makespan_macro ~rate ~processors ~parallel_work:work_time
+      ~checkpoint:600. ~recovery:600. ~downtime:60.
+  in
+  Printf.printf "Expected makespan: %.2f days (failure-free: %.2f days)\n\n"
+    (Units.to_days expected)
+    (Units.to_days work_time);
+
+  (* 2. Check by simulation, under the more realistic Weibull failures
+     (shape 0.7), against the classical heuristics and the paper's
+     DPNextFailure. *)
+  let dist = Weibull.of_mtbf ~mtbf ~shape:0.7 in
+  let job = Job.create ~dist ~processors ~machine ~work_time in
+  let scenario = Scenario.create job in
+  let policies =
+    [
+      Ckpt_policies.Young.policy job;
+      Ckpt_policies.Daly.high job;
+      Ckpt_policies.Optexp.policy job;
+      Ckpt_policies.Dp_policies.dp_next_failure job;
+    ]
+  in
+  print_endline "Simulated degradation-from-best under Weibull(k=0.7) failures:";
+  let table = Evaluation.degradation_table ~scenario ~policies ~replicates:10 in
+  Format.printf "%a@." Evaluation.pp_table table;
+  print_endline
+    "DPNextFailure adapts its chunks to the processors' ages; the periodic\n\
+     heuristics only know the MTBF — the gap grows with the platform size."

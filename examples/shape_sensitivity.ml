@@ -1,0 +1,50 @@
+(* How sensitive is a checkpointing strategy to the failure model?
+
+     dune exec examples/shape_sensitivity.exe
+
+   Production studies fit Weibull shapes between 0.33 and 0.78; the
+   MTBF-only heuristics behave as if k = 1.  This example fixes a
+   2^13-processor platform and sweeps the shape, showing OptExp's
+   degradation growing as the model departs from Exponential while
+   DPNextFailure tracks the distribution (the paper's Figure 5 story,
+   at example scale). *)
+
+module Weibull = Ckpt_distributions.Weibull
+module P = Ckpt_platform
+module Po = Ckpt_policies
+module S = Ckpt_simulator
+
+let () =
+  let preset = P.Presets.petascale () in
+  let processors = 1 lsl 13 in
+  let workload =
+    P.Workload.create ~total_work:preset.P.Presets.total_work
+      ~model:P.Workload.Embarrassingly_parallel
+  in
+  Printf.printf "%8s %12s %12s %12s %12s\n" "shape k" "Young" "OptExp" "DPNextFail" "LowerBound";
+  List.iter
+    (fun shape ->
+      let dist = Weibull.of_mtbf ~mtbf:preset.P.Presets.processor_mtbf ~shape in
+      let job =
+        Po.Job.of_workload ~dist ~processors ~machine:preset.P.Presets.machine ~workload
+      in
+      let scenario = S.Scenario.create job in
+      let policies =
+        [ Po.Young.policy job; Po.Optexp.policy job; Po.Dp_policies.dp_next_failure job ]
+      in
+      let table = S.Evaluation.degradation_table ~scenario ~policies ~replicates:6 in
+      let d name =
+        match
+          List.find_opt (fun r -> r.S.Evaluation.policy_name = name) table.S.Evaluation.results
+        with
+        | Some r when r.S.Evaluation.successes > 0 ->
+            Printf.sprintf "%12.4f" r.S.Evaluation.average_degradation
+        | Some _ | None -> Printf.sprintf "%12s" "-"
+      in
+      Printf.printf "%8.2f %s %s %s %12.4f\n%!" shape (d "Young") (d "OptExp")
+        (d "DPNextFailure")
+        table.S.Evaluation.lower_bound.S.Evaluation.average_degradation)
+    [ 0.3; 0.5; 0.7; 0.9; 1.0 ];
+  print_endline
+    "\nSmaller k = burstier failures = periodic MTBF-only checkpointing loses\n\
+     more; the DP keeps adapting and stays near the (unattainable) bound."

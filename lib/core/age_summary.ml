@@ -1,0 +1,118 @@
+module Distribution = Ckpt_distributions.Distribution
+
+type t = {
+  exact : float array;
+  references : float array;
+  counts : int array;
+}
+
+let default_nexact = 10
+let default_napprox = 100
+
+let exact_of_ages ages =
+  let exact = Array.copy ages in
+  Array.sort compare exact;
+  { exact; references = [||]; counts = [||] }
+
+let processors t = Array.length t.exact + Array.fold_left ( + ) 0 t.counts
+
+(* Index of the reference nearest to [age] (references ascending). *)
+let nearest_reference references age =
+  let n = Array.length references in
+  if age <= references.(0) then 0
+  else if age >= references.(n - 1) then n - 1
+  else begin
+    (* Invariant: references.(lo) < age <= references.(hi). *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if references.(mid) >= age then hi := mid else lo := mid
+    done;
+    if age -. references.(!lo) <= references.(!hi) -. age then !lo else !hi
+  end
+
+let build ?(nexact = default_nexact) ?(napprox = default_napprox) dist ~processors ~iter_ages =
+  if nexact < 0 then invalid_arg "Age_summary.build: nexact must be nonnegative";
+  if napprox < 2 then invalid_arg "Age_summary.build: napprox must be at least 2";
+  if processors <= 0 then invalid_arg "Age_summary.build: processors must be positive";
+  if processors <= nexact + 1 then begin
+    (* Small platform: keep everything exactly. *)
+    let buf = Array.make processors 0. in
+    let k = ref 0 in
+    iter_ages (fun a ->
+        buf.(!k) <- a;
+        incr k);
+    if !k <> processors then invalid_arg "Age_summary.build: iter_ages count mismatch";
+    exact_of_ages buf
+  end
+  else begin
+    (* Pass 1: the nexact+1 smallest ages (sorted insertion into a tiny
+       buffer) and the overall maximum. *)
+    let keep = nexact + 1 in
+    let smallest = Array.make keep infinity in
+    let maximum = ref neg_infinity in
+    let seen = ref 0 in
+    iter_ages (fun a ->
+        incr seen;
+        if a > !maximum then maximum := a;
+        if a < smallest.(keep - 1) then begin
+          let i = ref (keep - 1) in
+          while !i > 0 && smallest.(!i - 1) > a do
+            smallest.(!i) <- smallest.(!i - 1);
+            decr i
+          done;
+          smallest.(!i) <- a
+        end);
+    if !seen <> processors then invalid_arg "Age_summary.build: iter_ages count mismatch";
+    let exact = Array.sub smallest 0 nexact in
+    let smallest_remaining = smallest.(keep - 1) in
+    let largest_remaining = !maximum in
+    let references =
+      if largest_remaining <= smallest_remaining then [| smallest_remaining |]
+      else begin
+        let s_lo = Distribution.survival dist smallest_remaining in
+        let s_hi = Distribution.survival dist largest_remaining in
+        Array.init napprox (fun idx ->
+            if idx = 0 then smallest_remaining
+            else if idx = napprox - 1 then largest_remaining
+            else begin
+              let i = float_of_int (idx + 1) and n = float_of_int napprox in
+              let q = (((n -. i) /. (n -. 1.)) *. s_lo) +. (((i -. 1.) /. (n -. 1.)) *. s_hi) in
+              let r = Distribution.survival_quantile dist q in
+              (* Numerical quantile inversion can drift just outside the
+                 bracket; clamp to keep the references ordered. *)
+              Float.min largest_remaining (Float.max smallest_remaining r)
+            end)
+      end
+    in
+    Array.sort compare references;
+    let counts = Array.make (Array.length references) 0 in
+    (* Pass 2: assign every non-exact processor to its nearest
+       reference.  Ages tied with the exact threshold fill the exact
+       slots first, deterministically in iteration order. *)
+    let threshold = exact.(nexact - 1) in
+    let exact_left = ref nexact in
+    iter_ages (fun a ->
+        if a <= threshold && !exact_left > 0 then decr exact_left
+        else begin
+          let r = nearest_reference references a in
+          counts.(r) <- counts.(r) + 1
+        end);
+    { exact; references; counts }
+  end
+
+let log_survival_shift dist t e =
+  let h = dist.Distribution.cumulative_hazard in
+  let acc = ref 0. in
+  Array.iter (fun tau -> acc := !acc +. (h (tau +. e) -. h tau)) t.exact;
+  Array.iteri
+    (fun i r ->
+      if t.counts.(i) > 0 then
+        acc := !acc +. (float_of_int t.counts.(i) *. (h (r +. e) -. h r)))
+    t.references;
+  !acc
+
+let psuc dist t ~elapsed ~duration =
+  if duration <= 0. then 1.
+  else
+    exp (log_survival_shift dist t elapsed -. log_survival_shift dist t (elapsed +. duration))

@@ -1,0 +1,27 @@
+module Distribution = Ckpt_distributions.Distribution
+
+type t = {
+  dist : Distribution.t;
+  checkpoint : float;
+  recovery : float;
+  downtime : float;
+}
+
+let create ~dist ~checkpoint ~recovery ~downtime =
+  if checkpoint < 0. then invalid_arg "Dp_context.create: negative checkpoint cost";
+  if recovery < 0. then invalid_arg "Dp_context.create: negative recovery cost";
+  if downtime < 0. then invalid_arg "Dp_context.create: negative downtime";
+  { dist; checkpoint; recovery; downtime }
+
+let psuc t ~age ~duration = Distribution.conditional_survival t.dist ~age ~duration
+
+let expected_tlost t ~age ~window = Distribution.expected_tlost t.dist ~age ~window
+
+let expected_trec t =
+  if t.recovery = 0. then t.downtime
+  else begin
+    let p = psuc t ~age:0. ~duration:t.recovery in
+    let lost = expected_tlost t ~age:0. ~window:t.recovery in
+    if p <= 0. then infinity
+    else t.downtime +. t.recovery +. ((1. -. p) /. p *. (t.downtime +. lost))
+  end

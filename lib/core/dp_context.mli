@@ -1,0 +1,29 @@
+(** Shared setting of the two dynamic programs: the (platform-level)
+    failure distribution and the fault-tolerance overheads. *)
+
+type t = {
+  dist : Ckpt_distributions.Distribution.t;
+      (** inter-arrival distribution of the failures the DP reasons
+          about — per-processor for a sequential job, the aggregated
+          platform distribution for a parallel job under
+          rejuvenate-all. *)
+  checkpoint : float;  (** [C], seconds. *)
+  recovery : float;  (** [R], seconds. *)
+  downtime : float;  (** [D], seconds. *)
+}
+
+val create :
+  dist:Ckpt_distributions.Distribution.t ->
+  checkpoint:float -> recovery:float -> downtime:float -> t
+(** @raise Invalid_argument on negative overheads. *)
+
+val psuc : t -> age:float -> duration:float -> float
+(** [Psuc(duration | age)] under [t.dist]. *)
+
+val expected_tlost : t -> age:float -> window:float -> float
+(** [E(Tlost(window | age))]. *)
+
+val expected_trec : t -> float
+(** Proposition 1's recovery cost
+    [E(Trec) = D + R + (1 - Psuc(R|0))/Psuc(R|0) (D + E(Tlost(R|0)))],
+    with the recovering processor starting a fresh lifetime. *)

@@ -1,0 +1,165 @@
+module Distribution = Ckpt_distributions.Distribution
+
+type t = {
+  context : Dp_context.t;
+  initial_age : float;
+  x_max : int;
+  u : float;
+  c_u : int;  (* checkpoint duration in quanta, for age bookkeeping *)
+  chunk_cap : int;  (* largest chunk explored, in quanta *)
+  e_rec : float;
+  (* E(T(x u | R)) for every x: the post-recovery states, solved first
+     because every failure branch lands on them. *)
+  post_recovery : float array;
+  post_recovery_chunk : int array;
+  (* Lazily memoized general states, keyed by the packed state. *)
+  memo : (int, float * int) Hashtbl.t;
+  tlost_cache : (int, float) Hashtbl.t;
+}
+
+type state = { x : int; fresh : bool; y : int }
+(* Age at a state: (if fresh then tau0 else R) + y * u. *)
+
+let pack s = ((((s.x * 2) + if s.fresh then 1 else 0) lsl 24) lor s.y : int)
+
+let age_of t s =
+  (if s.fresh then t.initial_age else t.context.Dp_context.recovery) +. (float_of_int s.y *. t.u)
+
+(* E(Tlost) varies slowly with age; share evaluations across nearby
+   ages through a 5%-geometric bucket. *)
+let tlost t ~chunk_quanta ~age =
+  let bucket = if age <= 1. then 0 else 1 + int_of_float (log age /. 0.05) in
+  let key = (chunk_quanta * 1024) + bucket in
+  match Hashtbl.find_opt t.tlost_cache key with
+  | Some v -> v
+  | None ->
+      let window = (float_of_int chunk_quanta *. t.u) +. t.context.Dp_context.checkpoint in
+      let v = Dp_context.expected_tlost t.context ~age ~window in
+      Hashtbl.add t.tlost_cache key v;
+      v
+
+(* Bellman step at a state, given an evaluator for successor states
+   and the value of the failure branch E(T(x u | R)).  When
+   [self_referential], the failure branch is the state itself and the
+   fixed point is solved in closed form per candidate chunk.  The
+   chunk search is capped at [chunk_cap] quanta (several Young periods:
+   psi is convex, so larger chunks are never optimal; see .mli). *)
+let bellman t ~x ~age ~successor ~failure_value ~self_referential =
+  let c = t.context.Dp_context.checkpoint in
+  let i_max = min x t.chunk_cap in
+  let i_max = if x - i_max < i_max then x else i_max in
+  (* ^ when the cap leaves a sub-chunk tail smaller than the cap,
+     allow finishing in one chunk so the plan never strands a tail. *)
+  let best_v = ref infinity and best_i = ref 1 in
+  for i = 1 to i_max do
+    let duration = (float_of_int i *. t.u) +. c in
+    let p = Dp_context.psuc t.context ~age ~duration in
+    let v =
+      if p <= 0. then infinity
+      else begin
+        let succ = successor i in
+        let lost = tlost t ~chunk_quanta:i ~age in
+        if self_referential then
+          ((p *. (duration +. succ)) +. ((1. -. p) *. (lost +. t.e_rec))) /. p
+        else
+          (p *. (duration +. succ))
+          +. ((1. -. p) *. (lost +. t.e_rec +. failure_value))
+      end
+    in
+    if v < !best_v then begin
+      best_v := v;
+      best_i := i
+    end
+  done;
+  (!best_v, !best_i)
+
+let rec value t s =
+  if s.x = 0 then (0., 0)
+  else if (not s.fresh) && s.y = 0 then
+    (t.post_recovery.(s.x), t.post_recovery_chunk.(s.x))
+  else begin
+    let key = pack s in
+    match Hashtbl.find_opt t.memo key with
+    | Some v -> v
+    | None ->
+        let age = age_of t s in
+        let successor i = fst (value t { x = s.x - i; fresh = s.fresh; y = s.y + i + t.c_u }) in
+        let failure_value = t.post_recovery.(s.x) in
+        let v = bellman t ~x:s.x ~age ~successor ~failure_value ~self_referential:false in
+        Hashtbl.add t.memo key v;
+        v
+  end
+
+let young_period context =
+  let mean = context.Dp_context.dist.Distribution.mean in
+  sqrt (2. *. Float.max 1. context.Dp_context.checkpoint *. mean)
+
+let solve ?quantum ?(cap_states = 2000) ?(chunk_factor = 6.) ~context ~work ~initial_age () =
+  if work <= 0. then invalid_arg "Dp_makespan.solve: work must be positive";
+  if cap_states < 1 then invalid_arg "Dp_makespan.solve: cap_states must be positive";
+  let young = young_period context in
+  let u =
+    match quantum with
+    | Some u when u > 0. -> u
+    | Some _ -> invalid_arg "Dp_makespan.solve: quantum must be positive"
+    | None ->
+        (* Fine enough to express the optimal chunk (a third of Young's
+           period), coarse enough to bound the state count. *)
+        Float.max (young /. 3.) (work /. float_of_int cap_states)
+  in
+  let x_max = max 1 (int_of_float (ceil (work /. u))) in
+  let u = work /. float_of_int x_max in
+  let c_u = int_of_float (Float.round (context.Dp_context.checkpoint /. u)) in
+  let chunk_cap = max 4 (int_of_float (ceil (chunk_factor *. young /. u))) in
+  let t =
+    {
+      context;
+      initial_age;
+      x_max;
+      u;
+      c_u;
+      chunk_cap;
+      e_rec = Dp_context.expected_trec context;
+      post_recovery = Array.make (x_max + 1) 0.;
+      post_recovery_chunk = Array.make (x_max + 1) 0;
+      memo = Hashtbl.create 4096;
+      tlost_cache = Hashtbl.create 256;
+    }
+  in
+  (* Post-recovery states, ascending in x.  Their successors
+     (x - i, fresh=false, y = i + c_u) recursively bottom out on
+     post-recovery values of strictly smaller x. *)
+  for x = 1 to x_max do
+    let age = context.Dp_context.recovery in
+    let successor i = fst (value t { x = x - i; fresh = false; y = i + t.c_u }) in
+    let v, i = bellman t ~x ~age ~successor ~failure_value:nan ~self_referential:true in
+    t.post_recovery.(x) <- v;
+    t.post_recovery_chunk.(x) <- i
+  done;
+  t
+
+let quantum t = t.u
+
+let expected_makespan t = fst (value t { x = t.x_max; fresh = true; y = 0 })
+
+type cursor = { table : t; state : state }
+
+let start table = { table; state = { x = table.x_max; fresh = true; y = 0 } }
+
+let remaining_work c = float_of_int c.state.x *. c.table.u
+
+let next_chunk c =
+  if c.state.x = 0 then 0.
+  else begin
+    let _, i = value c.table c.state in
+    float_of_int i *. c.table.u
+  end
+
+let advance_success c =
+  if c.state.x = 0 then c
+  else begin
+    let _, i = value c.table c.state in
+    { c with state = { c.state with x = c.state.x - i; y = c.state.y + i + c.table.c_u } }
+  end
+
+let advance_failure c = { c with state = { c.state with fresh = false; y = 0 } }

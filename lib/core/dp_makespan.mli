@@ -1,0 +1,74 @@
+(** DPMakespan (Algorithm 1).
+
+    Minimizes the expected makespan for an arbitrary inter-arrival
+    distribution by dynamic programming over quantized states
+    [(x, b, y)]: [x] quanta of work remain, and the time since the
+    last failure is [tau0 + y u] if [b] (no failure yet) or
+    [R + y u] otherwise (the lifetime restarts at the beginning of the
+    recovery period).
+
+    Two points the paper's pseudo-code leaves implicit are handled
+    explicitly here:
+
+    - the post-recovery state [(x, b=0, y=0)] references itself through
+      its own failure branch, so its Bellman equation is solved in
+      closed form per candidate chunk before dependent states are
+      filled;
+    - [E(Tlost)] evaluations are cached on a geometric age grid (they
+      vary slowly with age), keeping the DP tractable for Weibull
+      failures.
+
+    For parallel jobs this DP is only valid under the rejuvenate-all
+    assumption: pass the aggregated platform distribution
+    ({!Ckpt_distributions.Distribution.min_of_iid}) in the context, as
+    the paper's simulations do. *)
+
+type t
+(** A solved instance (memoized value table). *)
+
+val solve :
+  ?quantum:float ->
+  ?cap_states:int ->
+  ?chunk_factor:float ->
+  context:Dp_context.t ->
+  work:float ->
+  initial_age:float ->
+  unit ->
+  t
+(** [solve ~context ~work ~initial_age ()] prepares the DP for [work]
+    seconds of work with [tau0 = initial_age].
+
+    The [quantum] defaults to a third of Young's period
+    [sqrt (2 C mu)] — fine enough to express the optimal chunk — but
+    is coarsened so the work dimension stays below [cap_states]
+    (default 2000).  The chunk search at each state is capped at
+    [chunk_factor] (default 6) Young periods: the per-chunk cost
+    [psi] is strictly convex with its minimum near one Young period,
+    so far larger chunks are never optimal; the cap turns the paper's
+    O((W/u)^3) search into a tractable one without affecting the
+    optimum in practice (tests compare against the uncapped search on
+    small instances).
+    @raise Invalid_argument if [work <= 0]. *)
+
+val quantum : t -> float
+val expected_makespan : t -> float
+(** [E(T_opt(W | tau0))], the DP's optimal objective value. *)
+
+(** {1 Following the plan}
+
+    The optimal strategy is state-dependent; a cursor tracks the DP
+    state across the events of an execution. *)
+
+type cursor
+
+val start : t -> cursor
+val remaining_work : cursor -> float
+val next_chunk : cursor -> float
+(** Chunk size (work seconds) prescribed at the cursor's state; [0.]
+    once no work remains. *)
+
+val advance_success : cursor -> cursor
+(** Move past a successfully executed and checkpointed {!next_chunk}. *)
+
+val advance_failure : cursor -> cursor
+(** Move to the post-recovery state after a failure (work unchanged). *)

@@ -1,0 +1,107 @@
+type plan = {
+  chunks : float list;
+  expected_work : float;
+  quantum : float;
+  truncated : bool;
+  valid_work : float;
+}
+
+let expected_work_of_chunks ~context ~ages chunks =
+  let dist = context.Dp_context.dist in
+  let c = context.Dp_context.checkpoint in
+  let _, _, total =
+    List.fold_left
+      (fun (elapsed, survive, total) w ->
+        let p = Age_summary.psuc dist ages ~elapsed ~duration:(w +. c) in
+        let survive = survive *. p in
+        (elapsed +. w +. c, survive, total +. (survive *. w)))
+      (0., 1., 0.) chunks
+  in
+  total
+
+let solve ?(max_states = 150) ?(truncation_factor = 2.) ~context ~ages ~work () =
+  if work <= 0. then invalid_arg "Dp_next_failure.solve: work must be positive";
+  if max_states < 1 then invalid_arg "Dp_next_failure.solve: max_states must be positive";
+  let dist = context.Dp_context.dist in
+  let c = context.Dp_context.checkpoint in
+  let p = Age_summary.processors ages in
+  let platform_mtbf = dist.Ckpt_distributions.Distribution.mean /. float_of_int p in
+  let planned =
+    if truncation_factor > 0. then Float.min work (truncation_factor *. platform_mtbf)
+    else work
+  in
+  let truncated = planned < work in
+  (* Resolution: enough quanta that a Young-period-sized chunk spans
+     several, without paying for states a short horizon cannot use. *)
+  let young = sqrt (2. *. Float.max 1. c *. platform_mtbf) in
+  let floor_states = min 48 max_states in
+  let x_max =
+    min max_states (max floor_states (int_of_float (ceil (planned *. 6. /. young))))
+  in
+  let u = planned /. float_of_int x_max in
+  (* Platform log-survival over the planning horizon.  Evaluating the
+     full age summary is the expensive part, so G is tabulated on a
+     coarse grid and linearly interpolated: G is a smooth sum of
+     cumulative hazards, and — crucially — interpolation never rounds
+     the checkpoint cost away (a grid that did would make checkpoints
+     look free and degenerate the plan into one-quantum chunks). *)
+  let horizon = float_of_int x_max *. (u +. c) in
+  let g_points = 256 in
+  let step = horizon /. float_of_int g_points in
+  let g =
+    Array.init (g_points + 2) (fun i ->
+        Age_summary.log_survival_shift dist ages (float_of_int i *. step))
+  in
+  let g_at e =
+    let t = e /. step in
+    let i = int_of_float t in
+    let i = if i >= g_points then g_points else i in
+    let frac = t -. float_of_int i in
+    g.(i) +. (frac *. (g.(i + 1) -. g.(i)))
+  in
+  (* value.(x).(n) = optimal E(W) with x quanta left after n chunks;
+     best.(x).(n) = the maximizing chunk size in quanta. *)
+  let value = Array.make_matrix (x_max + 1) (x_max + 1) 0. in
+  let best = Array.make_matrix (x_max + 1) (x_max + 1) 0 in
+  (* Chunks beyond a few Young periods are never optimal (the marginal
+     risk of the chunk's tail exceeds the amortized checkpoint saving);
+     capping the search turns the cubic scan into a near-quadratic one.
+     The cap is ignored near the end of the plan so a single final
+     chunk stays expressible. *)
+  let chunk_cap = max 4 (int_of_float (ceil (8. *. young /. u))) in
+  for x = 1 to x_max do
+    for n = 0 to x_max - x do
+      let e_base = (float_of_int (x_max - x) *. u) +. (float_of_int n *. c) in
+      let g_base = g_at e_base in
+      let best_v = ref neg_infinity and best_i = ref 1 in
+      let i_max = if x <= 2 * chunk_cap then x else chunk_cap in
+      for i = 1 to i_max do
+        let chunk = float_of_int i *. u in
+        let psuc = exp (g_base -. g_at (e_base +. chunk +. c)) in
+        let v = psuc *. (chunk +. value.(x - i).(n + 1)) in
+        if v > !best_v then begin
+          best_v := v;
+          best_i := i
+        end
+      done;
+      value.(x).(n) <- !best_v;
+      best.(x).(n) <- !best_i
+    done
+  done;
+  let chunks =
+    let rec collect x n acc =
+      if x = 0 then List.rev acc
+      else begin
+        let i = best.(x).(n) in
+        collect (x - i) (n + 1) (float_of_int i *. u :: acc)
+      end
+    in
+    collect x_max 0 []
+  in
+  {
+    chunks;
+    expected_work = value.(x_max).(0);
+    quantum = u;
+    truncated;
+    valid_work = (if truncated then planned /. 2. else planned);
+  }

@@ -1,0 +1,52 @@
+(** DPNextFailure (Algorithm 2 and Section 3.3).
+
+    Maximizes the expected amount of work successfully checkpointed
+    before the next platform failure,
+
+    [E(W) = sum_i w_i prod_{j<=i} Psuc(w_j + C | t_j)]  (Proposition 3),
+
+    by dynamic programming over (remaining quanta, chunks done).  The
+    parallel extension evaluates [Psuc] over an {!Age_summary} of the
+    processor ages, and two speedups from the paper are applied:
+
+    - the planned work is truncated to
+      [min (remaining, truncation_factor * platform MTBF)]
+      (default factor 2), and
+    - when truncation bites, only the first half of the plan is meant
+      to be executed before replanning ([valid_work]).
+
+    Note: Algorithm 2's pseudo-code keeps the candidate minimizing
+    [cur] — a typo, since NextFailure is a maximization; we maximize. *)
+
+type plan = {
+  chunks : float list;
+      (** chunk sizes (work seconds, excluding checkpoint), in order;
+          they sum to the planned work. *)
+  expected_work : float;  (** optimal [E(W)] for the planned work. *)
+  quantum : float;  (** the time quantum [u] used. *)
+  truncated : bool;
+  valid_work : float;
+      (** how much leading work of [chunks] should be executed before
+          recomputing a plan. *)
+}
+
+val solve :
+  ?max_states:int ->
+  ?truncation_factor:float ->
+  context:Dp_context.t ->
+  ages:Age_summary.t ->
+  work:float ->
+  unit ->
+  plan
+(** [solve ~context ~ages ~work ()] plans for [work] seconds of
+    remaining (parallel) work.  [context.dist] is the {e per-processor}
+    distribution; the platform MTBF used for truncation is
+    [dist.mean / processors].  [max_states] bounds the DP dimension
+    (the quantum adapts: [u = planned work / max_states]); default 150.
+    [truncation_factor <= 0] disables truncation.
+    @raise Invalid_argument if [work <= 0]. *)
+
+val expected_work_of_chunks :
+  context:Dp_context.t -> ages:Age_summary.t -> float list -> float
+(** Proposition 3's objective evaluated on an explicit chunk sequence;
+    lets tests verify the DP's optimality against brute force. *)

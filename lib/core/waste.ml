@@ -1,0 +1,26 @@
+let check_positive name v = if v <= 0. then invalid_arg ("Waste: " ^ name ^ " must be positive")
+
+let waste_fraction ~period ~checkpoint ~platform_mtbf =
+  check_positive "period" period;
+  check_positive "platform_mtbf" platform_mtbf;
+  if checkpoint < 0. then invalid_arg "Waste: negative checkpoint";
+  let w = (checkpoint /. (period +. checkpoint)) +. ((period +. checkpoint) /. (2. *. platform_mtbf)) in
+  Float.min 1. (Float.max 0. w)
+
+let optimal_period ~checkpoint ~platform_mtbf =
+  check_positive "platform_mtbf" platform_mtbf;
+  if checkpoint < 0. then invalid_arg "Waste: negative checkpoint";
+  sqrt (2. *. checkpoint *. platform_mtbf)
+
+let minimal_waste ~checkpoint ~platform_mtbf =
+  waste_fraction ~period:(optimal_period ~checkpoint ~platform_mtbf) ~checkpoint ~platform_mtbf
+
+let expected_makespan ~work ~checkpoint ~platform_mtbf =
+  check_positive "work" work;
+  let w = minimal_waste ~checkpoint ~platform_mtbf in
+  if w >= 1. then infinity else work /. (1. -. w)
+
+let usable_processor_limit ~checkpoint ~processor_mtbf =
+  check_positive "checkpoint" checkpoint;
+  check_positive "processor_mtbf" processor_mtbf;
+  max 1 (int_of_float (processor_mtbf /. (2. *. checkpoint)))

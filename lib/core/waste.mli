@@ -1,0 +1,36 @@
+(** First-order waste analysis of periodic checkpointing.
+
+    The classical back-of-envelope behind Young's and Daly's periods:
+    with period [T], checkpoint cost [C] and platform MTBF [M], the
+    fraction of time not spent on useful work is, to first order,
+
+    [waste(T) = C/T  +  (T + C)/(2M) (approx)],
+
+    checkpointing overhead plus expected re-execution after failures.
+    Minimizing gives [T_opt = sqrt(2 C M)] and
+    [waste at T_opt ~ sqrt(2 C / M)].  These formulas explain the shape of
+    every scaling figure in the paper: the platform MTBF is [mu/p], so
+    the minimal waste grows like [sqrt p] until checkpointing consumes
+    the machine.  Exposed for analysis, documentation and as an
+    independent cross-check of the simulator (tests compare these
+    predictions against measured engine runs). *)
+
+val waste_fraction : period:float -> checkpoint:float -> platform_mtbf:float -> float
+(** First-order waste of the periodic policy; in [\[0, 1\]] by
+    clamping (the approximation is only meaningful when small).
+    @raise Invalid_argument on non-positive period or MTBF. *)
+
+val optimal_period : checkpoint:float -> platform_mtbf:float -> float
+(** [sqrt (2 C M)] — Young's period. *)
+
+val minimal_waste : checkpoint:float -> platform_mtbf:float -> float
+(** [waste_fraction] at the optimal period. *)
+
+val expected_makespan : work:float -> checkpoint:float -> platform_mtbf:float -> float
+(** [work / (1 - minimal_waste)]: the first-order makespan prediction
+    for an optimally checkpointed job. *)
+
+val usable_processor_limit : checkpoint:float -> processor_mtbf:float -> int
+(** The enrollment beyond which first-order waste exceeds 100% — the
+    paper's motivation for studying enrollment limits (Section 8):
+    [p] such that [sqrt (2 C p / mu) = 1], i.e. [p = mu / (2 C)]. *)

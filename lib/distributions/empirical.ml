@@ -1,0 +1,98 @@
+module Rng = Ckpt_prng.Rng
+
+(* Number of sample points >= t in the sorted array, by binary search
+   for the first index holding a value >= t. *)
+let count_at_least sorted t =
+  let n = Array.length sorted in
+  if t <= sorted.(0) then n
+  else if t > sorted.(n - 1) then 0
+  else begin
+    (* Invariant: sorted.(lo) < t <= sorted.(hi). *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if sorted.(mid) >= t then hi := mid else lo := mid
+    done;
+    n - !hi
+  end
+
+let conditional_survival_counts sample ~t ~tau =
+  let sorted = Array.copy sample in
+  Array.sort compare sorted;
+  let denom = count_at_least sorted tau in
+  if denom = 0 then 0.
+  else float_of_int (count_at_least sorted t) /. float_of_int denom
+
+let of_intervals sample =
+  let n = Array.length sample in
+  if n = 0 then invalid_arg "Empirical.of_intervals: empty sample";
+  Array.iter
+    (fun x -> if x <= 0. then invalid_arg "Empirical.of_intervals: non-positive duration")
+    sample;
+  let sorted = Array.copy sample in
+  Array.sort compare sorted;
+  let nf = float_of_int n in
+  let max_v = sorted.(n - 1) in
+  (* Clamp so that conditioning never lands on an empty set: the
+     largest observed duration always "survives" queries at itself. *)
+  let clamp t = if t >= max_v then max_v else t in
+  let survival t =
+    if t <= 0. then 1. else float_of_int (count_at_least sorted (clamp t)) /. nf
+  in
+  let cumulative_hazard t =
+    let s = survival t in
+    if s <= 0. then infinity else -.log s
+  in
+  let quantile p =
+    if p <= 0. then sorted.(0)
+    else if p >= 1. then max_v
+    else begin
+      (* Smallest order statistic x with F(x) >= p, where
+         F(x) = #(points <= x)/n. *)
+      let k = int_of_float (ceil (p *. nf)) in
+      let k = if k < 1 then 1 else if k > n then n else k in
+      sorted.(k - 1)
+    end
+  in
+  let sample_fn rng = sorted.(Rng.int rng n) in
+  let mean = Array.fold_left ( +. ) 0. sorted /. nf in
+  (* Step-function hazard estimate over a window of a few order
+     statistics; only consumers like the Liu heuristic use it. *)
+  let hazard t =
+    let t = clamp t in
+    let at_least = count_at_least sorted t in
+    if at_least = 0 then infinity
+    else begin
+      let span = Float.max (max_v /. 200.) (t *. 0.05) in
+      let dying = at_least - count_at_least sorted (t +. span) in
+      float_of_int dying /. (float_of_int at_least *. span)
+    end
+  in
+  let tlost ~age ~window =
+    let age = clamp age in
+    let lo = count_at_least sorted age in
+    let hi = count_at_least sorted (age +. window) in
+    (* Points in [age, age + window): indices n-lo .. n-hi-1. *)
+    if lo = hi then window /. 2.
+    else begin
+      let acc = ref 0. in
+      for i = n - lo to n - hi - 1 do
+        acc := !acc +. (sorted.(i) -. age)
+      done;
+      !acc /. float_of_int (lo - hi)
+    end
+  in
+  {
+    Distribution.name = Printf.sprintf "empirical(n=%d)" n;
+    mean;
+    pdf =
+      (fun t ->
+        (* Density surrogate: hazard * survival; adequate for plots and
+           for policies that only need relative magnitudes. *)
+        if t < 0. then 0. else hazard t *. survival t);
+    cumulative_hazard;
+    quantile;
+    sample = sample_fn;
+    tlost_override = Some tlost;
+    hazard_override = Some hazard;
+  }

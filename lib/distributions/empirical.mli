@@ -1,0 +1,23 @@
+(** Empirical (log-based) failure distribution.
+
+    Section 4.3 of the paper: from a production log one records the
+    set S of availability-interval durations; the conditional
+    probability that a node stays up for [t] knowing it has been up for
+    [tau] is estimated as
+
+    [#(durations in S >= t) / #(durations in S >= tau)].
+
+    This module implements exactly that estimator, plus the sampling
+    and quantile machinery the policies need, directly on the sorted
+    sample (no parametric smoothing). *)
+
+val of_intervals : float array -> Distribution.t
+(** [of_intervals s] builds the empirical distribution of the sample
+    [s] (durations in seconds; must all be positive).  Queried ages
+    beyond the largest observed duration are clamped to it (the paper's
+    estimator would otherwise condition on an empty set).
+    @raise Invalid_argument on an empty or non-positive sample. *)
+
+val conditional_survival_counts : float array -> t:float -> tau:float -> float
+(** The raw Section 4.3 ratio estimator on an unsorted sample, for
+    cross-checking [Distribution.conditional_survival] in tests. *)

@@ -1,0 +1,28 @@
+module Rng = Ckpt_prng.Rng
+
+let expected_tlost_closed_form ~rate ~window =
+  if window <= 0. then 0.
+  else begin
+    let lw = rate *. window in
+    if lw < 1e-8 then
+      (* Series: E(Tlost) -> w/2 as lambda w -> 0. *)
+      window /. 2. *. (1. -. (lw /. 6.))
+    else (1. /. rate) -. (window /. (exp lw -. 1.))
+  end
+
+let create ~rate =
+  if rate <= 0. then invalid_arg "Exponential.create: rate must be positive";
+  {
+    Distribution.name = Printf.sprintf "exponential(rate=%g)" rate;
+    mean = 1. /. rate;
+    pdf = (fun x -> if x < 0. then 0. else rate *. exp (-.rate *. x));
+    cumulative_hazard = (fun x -> if x <= 0. then 0. else rate *. x);
+    quantile = (fun p -> -.log1p (-.p) /. rate);
+    sample = (fun rng -> Rng.exponential rng ~rate);
+    tlost_override = Some (fun ~age:_ ~window -> expected_tlost_closed_form ~rate ~window);
+    hazard_override = Some (fun _ -> rate);
+  }
+
+let of_mtbf ~mtbf =
+  if mtbf <= 0. then invalid_arg "Exponential.of_mtbf: mtbf must be positive";
+  create ~rate:(1. /. mtbf)

@@ -1,0 +1,17 @@
+(** Exponential distribution — the memoryless case of the paper
+    (Sections 2.3.1 and 3.2). *)
+
+val create : rate:float -> Distribution.t
+(** [create ~rate] has density [rate * exp (-rate * t)].
+    Supplies the closed form of Lemma 1 for [E(Tlost)]:
+    [1/lambda - omega / (exp (lambda omega) - 1)].
+    @raise Invalid_argument if [rate <= 0]. *)
+
+val of_mtbf : mtbf:float -> Distribution.t
+(** [of_mtbf ~mtbf] is [create ~rate:(1 /. mtbf)] (Section 4.3 sets
+    [lambda = 1/MTBF]).
+    @raise Invalid_argument if [mtbf <= 0]. *)
+
+val expected_tlost_closed_form : rate:float -> window:float -> float
+(** Lemma 1's formula, exposed for direct testing against the generic
+    numeric integration. *)

@@ -1,0 +1,94 @@
+module Rootfind = Ckpt_numerics.Rootfind
+
+type fitted = {
+  distribution : Distribution.t;
+  log_likelihood : float;
+  aic : float;
+  ks_statistic : float;
+}
+
+let validate data =
+  if Array.length data = 0 then invalid_arg "Fit: empty sample";
+  Array.iter (fun x -> if x <= 0. then invalid_arg "Fit: non-positive duration") data
+
+let ks_distance dist data =
+  let sorted = Array.copy data in
+  Array.sort compare sorted;
+  let n = float_of_int (Array.length sorted) in
+  let worst = ref 0. in
+  Array.iteri
+    (fun i x ->
+      let f = Distribution.cdf dist x in
+      (* Compare against the empirical CDF just before and at x. *)
+      let lo = float_of_int i /. n and hi = float_of_int (i + 1) /. n in
+      worst := Float.max !worst (Float.max (abs_float (f -. lo)) (abs_float (f -. hi))))
+    sorted;
+  !worst
+
+let log_likelihood dist data =
+  Array.fold_left
+    (fun acc x ->
+      let p = dist.Distribution.pdf x in
+      acc +. if p > 0. then log p else -1e9)
+    0. data
+
+let package ~parameters dist data =
+  let ll = log_likelihood dist data in
+  {
+    distribution = dist;
+    log_likelihood = ll;
+    aic = (2. *. float_of_int parameters) -. (2. *. ll);
+    ks_statistic = ks_distance dist data;
+  }
+
+let mean data = Array.fold_left ( +. ) 0. data /. float_of_int (Array.length data)
+
+let exponential data =
+  validate data;
+  package ~parameters:1 (Exponential.create ~rate:(1. /. mean data)) data
+
+let weibull ?(shape_bounds = (0.05, 20.)) data =
+  validate data;
+  let n = float_of_int (Array.length data) in
+  let mean_log = Array.fold_left (fun acc x -> acc +. log x) 0. data /. n in
+  (* MLE shape equation: sum x^k ln x / sum x^k - 1/k - mean(ln x) = 0.
+     The left side is increasing in k, so a sign change brackets the
+     root. *)
+  let objective k =
+    let num = ref 0. and den = ref 0. in
+    Array.iter
+      (fun x ->
+        let xk = x ** k in
+        num := !num +. (xk *. log x);
+        den := !den +. xk)
+      data;
+    (!num /. !den) -. (1. /. k) -. mean_log
+  in
+  let lo, hi = shape_bounds in
+  let shape =
+    match Rootfind.brent ~f:objective ~lo ~hi () with
+    | s -> s
+    | exception Rootfind.No_bracket ->
+        (* Degenerate samples (e.g. constant data): fall back to the
+           boundary with the smaller residual. *)
+        if abs_float (objective lo) < abs_float (objective hi) then lo else hi
+  in
+  let scale =
+    (Array.fold_left (fun acc x -> acc +. (x ** shape)) 0. data /. n) ** (1. /. shape)
+  in
+  package ~parameters:2 (Weibull.create ~scale ~shape) data
+
+let lognormal data =
+  validate data;
+  let n = float_of_int (Array.length data) in
+  let mu = Array.fold_left (fun acc x -> acc +. log x) 0. data /. n in
+  let var = Array.fold_left (fun acc x -> acc +. ((log x -. mu) ** 2.)) 0. data /. n in
+  let sigma = Float.max 1e-9 (sqrt var) in
+  package ~parameters:2 (Lognormal.create ~mu ~sigma) data
+
+let best_fit data =
+  validate data;
+  List.fold_left
+    (fun best candidate -> if candidate.aic < best.aic then candidate else best)
+    (exponential data)
+    [ weibull data; lognormal data ]

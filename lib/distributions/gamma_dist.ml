@@ -1,0 +1,74 @@
+module Rng = Ckpt_prng.Rng
+module Special = Ckpt_numerics.Special
+module Rootfind = Ckpt_numerics.Rootfind
+
+let create ~shape ~scale =
+  if shape <= 0. then invalid_arg "Gamma_dist.create: shape must be positive";
+  if scale <= 0. then invalid_arg "Gamma_dist.create: scale must be positive";
+  let log_gamma_shape = Special.log_gamma shape in
+  let cdf x =
+    if x <= 0. then 0.
+    else Special.lower_incomplete_gamma_regularized ~a:shape ~x:(x /. scale)
+  in
+  let cumulative_hazard x =
+    if x <= 0. then 0.
+    else begin
+      let s = 1. -. cdf x in
+      if s <= 0. then infinity else -.log s
+    end
+  in
+  let pdf x =
+    if x < 0. then 0.
+    else if x = 0. then (if shape < 1. then infinity else if shape = 1. then 1. /. scale else 0.)
+    else
+      exp (((shape -. 1.) *. log (x /. scale)) -. (x /. scale) -. log_gamma_shape) /. scale
+  in
+  let mean = shape *. scale in
+  let quantile p =
+    if p <= 0. then 0.
+    else begin
+      (* Bracket then Brent on the CDF: robust for all shapes. *)
+      let hi = ref (Float.max mean (scale *. 2.)) in
+      while cdf !hi < p do
+        hi := !hi *. 2.
+      done;
+      Rootfind.brent ~f:(fun x -> cdf x -. p) ~lo:0. ~hi:!hi ()
+    end
+  in
+  (* Marsaglia-Tsang squeeze method; the shape < 1 case boosts via
+     Gamma(shape+1) * U^(1/shape). *)
+  let rec sample_mt rng a =
+    if a < 1. then begin
+      let u = Rng.uniform_pos rng in
+      sample_mt rng (a +. 1.) *. (u ** (1. /. a))
+    end
+    else begin
+      let d = a -. (1. /. 3.) in
+      let c = 1. /. sqrt (9. *. d) in
+      let rec loop () =
+        let x = Rng.normal rng in
+        let v = (1. +. (c *. x)) ** 3. in
+        if v <= 0. then loop ()
+        else begin
+          let u = Rng.uniform_pos rng in
+          if log u < (0.5 *. x *. x) +. d -. (d *. v) +. (d *. log v) then d *. v
+          else loop ()
+        end
+      in
+      loop ()
+    end
+  in
+  {
+    Distribution.name = Printf.sprintf "gamma(shape=%g,scale=%g)" shape scale;
+    mean;
+    pdf;
+    cumulative_hazard;
+    quantile;
+    sample = (fun rng -> scale *. sample_mt rng shape);
+    tlost_override = None;
+    hazard_override = None;
+  }
+
+let of_mtbf ~mtbf ~shape =
+  if mtbf <= 0. then invalid_arg "Gamma_dist.of_mtbf: mtbf must be positive";
+  create ~shape ~scale:(mtbf /. shape)

@@ -1,0 +1,9 @@
+(** Gamma distribution — another standard lifetime family with
+    non-constant hazard ([shape < 1]: decreasing, like Weibull with
+    [k < 1]); used in tests and ablations. *)
+
+val create : shape:float -> scale:float -> Distribution.t
+(** Mean [shape * scale].
+    @raise Invalid_argument if [shape <= 0] or [scale <= 0]. *)
+
+val of_mtbf : mtbf:float -> shape:float -> Distribution.t

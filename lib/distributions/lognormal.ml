@@ -1,0 +1,40 @@
+module Rng = Ckpt_prng.Rng
+module Special = Ckpt_numerics.Special
+
+let create ~mu ~sigma =
+  if sigma <= 0. then invalid_arg "Lognormal.create: sigma must be positive";
+  let sqrt2 = sqrt 2. in
+  let survival x =
+    if x <= 0. then 1.
+    else 0.5 *. Special.erfc ((log x -. mu) /. (sigma *. sqrt2))
+  in
+  let cumulative_hazard x =
+    if x <= 0. then 0.
+    else begin
+      let s = survival x in
+      if s <= 0. then infinity else -.log s
+    end
+  in
+  let pdf x =
+    if x <= 0. then 0.
+    else begin
+      let z = (log x -. mu) /. sigma in
+      exp (-0.5 *. z *. z) /. (x *. sigma *. sqrt (2. *. Float.pi))
+    end
+  in
+  let quantile p = exp (mu +. (sigma *. Special.normal_quantile p)) in
+  let sample rng = exp (mu +. (sigma *. Rng.normal rng)) in
+  {
+    Distribution.name = Printf.sprintf "lognormal(mu=%g,sigma=%g)" mu sigma;
+    mean = exp (mu +. (0.5 *. sigma *. sigma));
+    pdf;
+    cumulative_hazard;
+    quantile;
+    sample;
+    tlost_override = None;
+    hazard_override = None;
+  }
+
+let of_mtbf ~mtbf ~sigma =
+  if mtbf <= 0. then invalid_arg "Lognormal.of_mtbf: mtbf must be positive";
+  create ~mu:(log mtbf -. (0.5 *. sigma *. sigma)) ~sigma

@@ -1,0 +1,11 @@
+(** LogNormal distribution.  Not used in the paper's headline results
+    but a standard alternative model of repair/failure times; included
+    so that the DP heuristics can be exercised on a third
+    non-memoryless family (ablation studies). *)
+
+val create : mu:float -> sigma:float -> Distribution.t
+(** [log X ~ Normal(mu, sigma)].
+    @raise Invalid_argument if [sigma <= 0]. *)
+
+val of_mtbf : mtbf:float -> sigma:float -> Distribution.t
+(** Fixes [mu] so the mean [exp (mu + sigma^2/2)] equals [mtbf]. *)

@@ -1,0 +1,26 @@
+module Rng = Ckpt_prng.Rng
+
+let create ~scale ~shape =
+  if scale <= 0. then invalid_arg "Lomax.create: scale must be positive";
+  if shape <= 0. then invalid_arg "Lomax.create: shape must be positive";
+  let cumulative_hazard t = if t <= 0. then 0. else shape *. log1p (t /. scale) in
+  let pdf t =
+    if t < 0. then 0. else shape /. scale *. ((1. +. (t /. scale)) ** (-.shape -. 1.))
+  in
+  let quantile p = scale *. (((1. -. p) ** (-1. /. shape)) -. 1.) in
+  let sample rng = quantile (Rng.uniform rng) in
+  {
+    Distribution.name = Printf.sprintf "lomax(scale=%g,shape=%g)" scale shape;
+    mean = (if shape > 1. then scale /. (shape -. 1.) else infinity);
+    pdf;
+    cumulative_hazard;
+    quantile;
+    sample;
+    tlost_override = None;
+    hazard_override = Some (fun t -> shape /. (scale +. Float.max 0. t));
+  }
+
+let of_mtbf ~mtbf ~shape =
+  if mtbf <= 0. then invalid_arg "Lomax.of_mtbf: mtbf must be positive";
+  if shape <= 1. then invalid_arg "Lomax.of_mtbf: shape must exceed 1 for a finite mean";
+  create ~scale:(mtbf *. (shape -. 1.)) ~shape

@@ -1,0 +1,15 @@
+(** Lomax (Pareto type II) distribution — a polynomially heavy-tailed
+    lifetime with strictly decreasing hazard [alpha / (scale + t)];
+    the most pessimistic standard model of bursty failures, useful as
+    a stress test for the DP policies beyond Weibull. *)
+
+val create : scale:float -> shape:float -> Distribution.t
+(** Survival [(1 + t/scale)^(-shape)].  The mean is finite only for
+    [shape > 1] ([scale / (shape - 1)]); for [shape <= 1] the mean
+    field is [infinity] and MTBF-based heuristics are meaningless —
+    which is rather the point.
+    @raise Invalid_argument on non-positive parameters. *)
+
+val of_mtbf : mtbf:float -> shape:float -> Distribution.t
+(** Fixes the scale so the mean equals [mtbf].
+    @raise Invalid_argument if [shape <= 1] (infinite mean). *)

@@ -1,0 +1,67 @@
+module Rng = Ckpt_prng.Rng
+module Rootfind = Ckpt_numerics.Rootfind
+
+let create components =
+  if components = [] then invalid_arg "Mixture.create: empty mixture";
+  List.iter
+    (fun (w, _) -> if w <= 0. then invalid_arg "Mixture.create: non-positive weight")
+    components;
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0. components in
+  let components = List.map (fun (w, d) -> (w /. total, d)) components in
+  let survival x =
+    List.fold_left (fun acc (w, d) -> acc +. (w *. Distribution.survival d x)) 0. components
+  in
+  let cumulative_hazard x =
+    if x <= 0. then 0.
+    else begin
+      let s = survival x in
+      if s <= 0. then infinity else -.log s
+    end
+  in
+  let pdf x =
+    List.fold_left (fun acc (w, d) -> acc +. (w *. d.Distribution.pdf x)) 0. components
+  in
+  let mean = List.fold_left (fun acc (w, d) -> acc +. (w *. d.Distribution.mean)) 0. components in
+  let quantile p =
+    if p <= 0. then 0.
+    else begin
+      (* Bracket using the extreme component quantiles, then Brent on
+         the mixture CDF. *)
+      let hi =
+        List.fold_left (fun acc (_, d) -> Float.max acc (d.Distribution.quantile p)) 0. components
+      in
+      let hi = if hi > 0. then hi else 1. in
+      let f x = 1. -. survival x -. p in
+      if f hi >= 0. then Rootfind.brent ~f ~lo:0. ~hi ()
+      else begin
+        (* Numerical slack at extreme p: expand the bracket. *)
+        let hi = ref hi in
+        while f !hi < 0. && !hi < 1e300 do
+          hi := !hi *. 2.
+        done;
+        Rootfind.brent ~f ~lo:0. ~hi:!hi ()
+      end
+    end
+  in
+  let sample rng =
+    let u = Rng.uniform rng in
+    let rec pick acc = function
+      | [] -> invalid_arg "Mixture.sample: unreachable"
+      | [ (_, d) ] -> d.Distribution.sample rng
+      | (w, d) :: rest -> if u < acc +. w then d.Distribution.sample rng else pick (acc +. w) rest
+    in
+    pick 0. components
+  in
+  {
+    Distribution.name =
+      Printf.sprintf "mixture(%s)"
+        (String.concat "+"
+           (List.map (fun (w, d) -> Printf.sprintf "%.2f*%s" w d.Distribution.name) components));
+    mean;
+    pdf;
+    cumulative_hazard;
+    quantile;
+    sample;
+    tlost_override = None;
+    hazard_override = None;
+  }

@@ -1,0 +1,13 @@
+(** Finite mixtures of lifetime distributions.
+
+    Production failure logs are well modelled by mixtures — e.g. a
+    heavy-tailed Weibull bulk plus a short-uptime reboot-storm mode
+    (Schroeder-Gibson); {!Ckpt_failures.Lanl_synth} synthesizes its
+    logs from exactly such a mixture. *)
+
+val create : (float * Distribution.t) list -> Distribution.t
+(** [create [(w1, d1); ...]] is the mixture with weights [wi]
+    (positive, normalized internally).  Survival and density are the
+    weighted combinations; the quantile is solved numerically;
+    sampling draws a component by weight.
+    @raise Invalid_argument on an empty list or non-positive weight. *)

@@ -1,0 +1,21 @@
+module Rng = Ckpt_prng.Rng
+
+let create ~lo ~hi =
+  if hi <= lo then invalid_arg "Uniform_dist.create: hi <= lo";
+  if lo < 0. then invalid_arg "Uniform_dist.create: negative support";
+  let width = hi -. lo in
+  let cumulative_hazard x =
+    if x <= lo then 0.
+    else if x >= hi then infinity
+    else -.log ((hi -. x) /. width)
+  in
+  {
+    Distribution.name = Printf.sprintf "uniform(%g,%g)" lo hi;
+    mean = 0.5 *. (lo +. hi);
+    pdf = (fun x -> if x < lo || x > hi then 0. else 1. /. width);
+    cumulative_hazard;
+    quantile = (fun p -> lo +. (p *. width));
+    sample = (fun rng -> lo +. (Rng.uniform rng *. width));
+    tlost_override = None;
+    hazard_override = None;
+  }

@@ -1,0 +1,6 @@
+(** Uniform distribution on [\[lo, hi\]]; a bounded-support lifetime
+    used mainly by the test suite (its conditional quantities have
+    elementary closed forms to check the generic machinery against). *)
+
+val create : lo:float -> hi:float -> Distribution.t
+(** @raise Invalid_argument if [hi <= lo] or [lo < 0]. *)

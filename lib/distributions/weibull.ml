@@ -1,0 +1,41 @@
+module Rng = Ckpt_prng.Rng
+module Special = Ckpt_numerics.Special
+
+let create ~scale ~shape =
+  if scale <= 0. then invalid_arg "Weibull.create: scale must be positive";
+  if shape <= 0. then invalid_arg "Weibull.create: shape must be positive";
+  let cumulative_hazard x = if x <= 0. then 0. else (x /. scale) ** shape in
+  let pdf x =
+    if x < 0. then 0.
+    else if x = 0. then (if shape < 1. then infinity else if shape = 1. then 1. /. scale else 0.)
+    else
+      let z = x /. scale in
+      shape /. scale *. (z ** (shape -. 1.)) *. exp (-.(z ** shape))
+  in
+  let quantile p = scale *. ((-.log1p (-.p)) ** (1. /. shape)) in
+  let sample rng = scale *. ((-.log (Rng.uniform_pos rng)) ** (1. /. shape)) in
+  let hazard x =
+    if x <= 0. then (if shape < 1. then infinity else if shape = 1. then 1. /. scale else 0.)
+    else shape /. scale *. ((x /. scale) ** (shape -. 1.))
+  in
+  {
+    Distribution.name = Printf.sprintf "weibull(scale=%g,shape=%g)" scale shape;
+    mean = scale *. Special.gamma (1. +. (1. /. shape));
+    pdf;
+    cumulative_hazard;
+    quantile;
+    sample;
+    tlost_override = None;
+    hazard_override = Some hazard;
+  }
+
+let scale_for_mtbf ~mtbf ~shape =
+  if mtbf <= 0. then invalid_arg "Weibull.scale_for_mtbf: mtbf must be positive";
+  if shape <= 0. then invalid_arg "Weibull.scale_for_mtbf: shape must be positive";
+  mtbf /. Special.gamma (1. +. (1. /. shape))
+
+let of_mtbf ~mtbf ~shape = create ~scale:(scale_for_mtbf ~mtbf ~shape) ~shape
+
+let platform_scale ~scale ~shape ~processors =
+  if processors <= 0 then invalid_arg "Weibull.platform_scale: processors must be positive";
+  scale /. (float_of_int processors ** (1. /. shape))

@@ -1,0 +1,20 @@
+(** Weibull distribution — the paper's model of real-world failures
+    (shape [k < 1] in all cited production studies: 0.7/0.78 in Heath
+    et al., 0.50944 in Liu et al., 0.33-0.49 in Schroeder-Gibson). *)
+
+val create : scale:float -> shape:float -> Distribution.t
+(** [create ~scale ~shape] has CDF [1 - exp (-(t/scale)^shape)].
+    @raise Invalid_argument if [scale <= 0] or [shape <= 0]. *)
+
+val of_mtbf : mtbf:float -> shape:float -> Distribution.t
+(** [of_mtbf ~mtbf ~shape] chooses [scale = mtbf / Gamma (1 + 1/shape)]
+    so the mean equals [mtbf] (Section 4.3). *)
+
+val scale_for_mtbf : mtbf:float -> shape:float -> float
+(** The scale parameter used by {!of_mtbf}. *)
+
+val platform_scale : scale:float -> shape:float -> processors:int -> float
+(** [platform_scale ~scale ~shape ~processors] is [scale / p^(1/k)]:
+    the scale of the platform-level Weibull when all [p] fresh
+    processors race to fail first (Section 3.1's rejuvenation
+    discussion). *)

@@ -1,0 +1,90 @@
+module P = Ckpt_platform
+module Po = Ckpt_policies
+module S = Ckpt_simulator
+module C = Ckpt_core
+
+type psuc_error_point = {
+  chunk_over_mtbf : float;
+  relative_error : float;
+}
+
+let psuc_approximation_error ?(config = Config.default ()) ?nexact ?napprox ?processors () =
+  let preset = P.Presets.petascale () in
+  let processors = match processors with Some p -> p | None -> 1 lsl 14 in
+  let dist = Setup.distribution (Setup.Weibull 0.7) ~mtbf:preset.P.Presets.processor_mtbf in
+  let scenario =
+    Setup.scenario ~config ~dist ~preset ~workload_model:P.Workload.Embarrassingly_parallel
+      ~processors ()
+  in
+  let traces = S.Scenario.traces scenario ~replicate:0 in
+  let starts = S.Scenario.initial_lifetime_starts scenario traces in
+  let t0 = scenario.S.Scenario.start_time in
+  let ages = Array.map (fun ls -> Float.max 0. (t0 -. ls)) starts in
+  let exact = C.Age_summary.exact_of_ages ages in
+  let approx =
+    C.Age_summary.build ?nexact ?napprox dist ~processors
+      ~iter_ages:(fun f -> Array.iter f ages)
+  in
+  let platform_mtbf = dist.Ckpt_distributions.Distribution.mean /. float_of_int processors in
+  List.init 7 (fun i ->
+      let chunk = platform_mtbf /. (2. ** float_of_int i) in
+      let pe = C.Age_summary.psuc dist exact ~elapsed:0. ~duration:chunk in
+      let pa = C.Age_summary.psuc dist approx ~elapsed:0. ~duration:chunk in
+      {
+        chunk_over_mtbf = chunk /. platform_mtbf;
+        relative_error = abs_float (pa -. pe) /. pe;
+      })
+
+type knob_result = {
+  label : string;
+  average_degradation : float;
+  wall_seconds : float;
+}
+
+let knob_sweep ?(config = Config.default ()) () =
+  let preset = P.Presets.petascale () in
+  let processors = 1 lsl 13 in
+  let dist = Setup.distribution (Setup.Weibull 0.7) ~mtbf:preset.P.Presets.processor_mtbf in
+  let scenario =
+    Setup.scenario ~config ~dist ~preset ~workload_model:P.Workload.Embarrassingly_parallel
+      ~processors ()
+  in
+  let job = scenario.S.Scenario.job in
+  let replicates = Config.scale config ~quick:6 ~full:100 in
+  let variants =
+    [
+      ("default (ne=10,na=100,trunc=2,X<=150)", Po.Dp_policies.dp_next_failure job);
+      ("nexact=0", Po.Dp_policies.dp_next_failure ~nexact:0 job);
+      ("nexact=40", Po.Dp_policies.dp_next_failure ~nexact:40 job);
+      ("napprox=10", Po.Dp_policies.dp_next_failure ~napprox:10 job);
+      ("truncation=1", Po.Dp_policies.dp_next_failure ~truncation_factor:1. job);
+      ("truncation=4", Po.Dp_policies.dp_next_failure ~truncation_factor:4. job);
+      ("max_states=60", Po.Dp_policies.dp_next_failure ~max_states:60 job);
+      ("max_states=300", Po.Dp_policies.dp_next_failure ~max_states:300 job);
+    ]
+  in
+  let baseline = Po.Optexp.policy job in
+  List.map
+    (fun (label, policy) ->
+      let t0 = Unix.gettimeofday () in
+      let table =
+        S.Evaluation.degradation_table ~scenario ~policies:[ baseline; policy ] ~replicates
+      in
+      let wall = Unix.gettimeofday () -. t0 in
+      let dp = List.nth table.S.Evaluation.results 1 in
+      { label; average_degradation = dp.S.Evaluation.average_degradation; wall_seconds = wall })
+    variants
+
+let print ?(config = Config.default ()) () =
+  Report.print_header "Ablation: DPNextFailure age-summary accuracy (Section 3.3 claim)";
+  List.iter
+    (fun pt ->
+      Printf.printf "chunk = %-8.4f x MTBF_platform   relative Psuc error = %.3e\n"
+        pt.chunk_over_mtbf pt.relative_error)
+    (psuc_approximation_error ~config ());
+  Report.print_header "Ablation: DPNextFailure knobs (8,192 procs, Weibull k=0.7)";
+  List.iter
+    (fun r ->
+      Printf.printf "%-40s degradation vs OptExp-normalized best: %.5f  (%.1f s)\n" r.label
+        r.average_degradation r.wall_seconds)
+    (knob_sweep ~config ())

@@ -1,0 +1,23 @@
+type t = { replicates : int; full : bool; seed : int64 }
+
+let getenv_int name =
+  match Sys.getenv_opt name with
+  | None -> None
+  | Some s -> int_of_string_opt (String.trim s)
+
+let default () =
+  let full = match Sys.getenv_opt "CKPT_FULL" with Some ("1" | "true") -> true | _ -> false in
+  let replicates =
+    match getenv_int "CKPT_TRACES" with
+    | Some n when n > 0 -> n
+    | _ -> if full then 600 else 0
+  in
+  let seed =
+    match getenv_int "CKPT_SEED" with Some s -> Int64.of_int s | None -> 0x5EEDL
+  in
+  { replicates; full; seed }
+
+let quick = { replicates = 4; full = false; seed = 0x5EEDL }
+
+let scale t ~quick ~full =
+  if t.replicates > 0 then t.replicates else if t.full then full else quick

@@ -1,0 +1,60 @@
+module P = Ckpt_platform
+module Po = Ckpt_policies
+module S = Ckpt_simulator
+
+type point = {
+  period : float;
+  average_makespan : float;
+  average_energy : float;
+}
+
+type t = {
+  title : string;
+  points : point list;
+  makespan_optimal_period : float;
+  energy_optimal_period : float;
+}
+
+let run ?(config = Config.default ()) ?(power = S.Energy.default_power) ?processors ~preset
+    ~dist_kind () =
+  let processors =
+    match processors with Some p -> p | None -> preset.P.Presets.machine.P.Machine.total_processors
+  in
+  let dist = Setup.distribution dist_kind ~mtbf:preset.P.Presets.processor_mtbf in
+  let scenario =
+    Setup.scenario ~config ~dist ~preset ~workload_model:P.Workload.Embarrassingly_parallel
+      ~processors ()
+  in
+  let base = Po.Optexp.period scenario.S.Scenario.job in
+  let periods = List.init 9 (fun i -> base *. (2. ** (float_of_int (i - 4) /. 2.))) in
+  let replicates = Config.scale config ~quick:8 ~full:200 in
+  let raw = S.Energy.makespan_energy_tradeoff ~scenario ~power ~periods ~replicates in
+  let points =
+    List.map (fun (period, m, e) -> { period; average_makespan = m; average_energy = e }) raw
+  in
+  let argmin f =
+    match points with
+    | [] -> nan
+    | p0 :: rest ->
+        (List.fold_left (fun best p -> if f p < f best then p else best) p0 rest).period
+  in
+  {
+    title =
+      Printf.sprintf "Energy/makespan trade-off (%s, %d procs, %s)" preset.P.Presets.label
+        processors (Setup.dist_kind_name dist_kind);
+    points;
+    makespan_optimal_period = argmin (fun p -> p.average_makespan);
+    energy_optimal_period = argmin (fun p -> p.average_energy);
+  }
+
+let print ?(config = Config.default ()) () =
+  let t = run ~config ~preset:(P.Presets.petascale ()) ~dist_kind:(Setup.Weibull 0.7) () in
+  Report.print_header t.title;
+  Printf.printf "%12s %16s %16s\n" "period (s)" "makespan (d)" "energy (MJ)";
+  List.iter
+    (fun p ->
+      Printf.printf "%12.0f %16.3f %16.1f\n" p.period (p.average_makespan /. P.Units.day)
+        (p.average_energy /. 1e6))
+    t.points;
+  Printf.printf "makespan-optimal period: %.0f s; energy-optimal period: %.0f s\n%!"
+    t.makespan_optimal_period t.energy_optimal_period

@@ -1,0 +1,40 @@
+module F = Ckpt_failures
+module Units = Ckpt_platform.Units
+
+type point = {
+  processors : int;
+  mtbf_rejuvenate_all : float;
+  mtbf_failed_only : float;
+}
+
+let run ?(shape = 0.70) ?(mtbf_years = 125.) ?(downtime = 60.) ?exponents () =
+  let exponents = match exponents with Some e -> e | None -> List.init 19 (fun i -> i + 4) in
+  F.Rejuvenation.figure1_series ~mtbf:(Units.of_years mtbf_years) ~shape ~downtime
+    ~processor_exponents:exponents
+  |> List.map (fun (p, with_r, without_r) ->
+         { processors = p; mtbf_rejuvenate_all = with_r; mtbf_failed_only = without_r })
+
+let print ?config:_ () =
+  Report.print_header
+    "Figure 1: platform MTBF vs processors (Weibull k=0.70, MTBF 125 y, D=60 s)";
+  let points = run () in
+  let series =
+    [
+      {
+        Report.label = "rejuvenate-all";
+        points =
+          List.map
+            (fun p -> (float_of_int p.processors, log (p.mtbf_rejuvenate_all) /. log 2.))
+            points;
+      };
+      {
+        Report.label = "failed-only";
+        points =
+          List.map (fun p -> (float_of_int p.processors, log p.mtbf_failed_only /. log 2.)) points;
+      };
+    ]
+  in
+  Report.print_series ~x_label:"processors" ~y_label:"log2(platform MTBF in s)" series;
+  Report.write_csv
+    ~path:(Filename.concat (Report.results_dir ()) "fig1_mtbf.csv")
+    (Report.csv_of_series ~x_label:"processors" series)

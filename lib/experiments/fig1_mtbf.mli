@@ -1,0 +1,16 @@
+(** Figure 1: platform MTBF vs number of processors for the two
+    rejuvenation options (Weibull shape 0.70, processor MTBF 125 y,
+    downtime 60 s, p = 2^4 .. 2^22). *)
+
+type point = {
+  processors : int;
+  mtbf_rejuvenate_all : float;  (** seconds *)
+  mtbf_failed_only : float;
+}
+
+val run : ?shape:float -> ?mtbf_years:float -> ?downtime:float -> ?exponents:int list ->
+  unit -> point list
+
+val print : ?config:Config.t -> unit -> unit
+(** Render the two curves (as [log2 MTBF], like the paper's y-axis)
+    and drop a CSV in the results directory. *)

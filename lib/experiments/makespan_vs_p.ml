@@ -1,0 +1,93 @@
+module P = Ckpt_platform
+module Po = Ckpt_policies
+module S = Ckpt_simulator
+
+type curve = {
+  workload_name : string;
+  points : (int * float) list;
+  best_processors : int;
+}
+
+type t = {
+  title : string;
+  curves : curve list;
+}
+
+let run ?(config = Config.default ()) ?processor_counts ~preset ~dist_kind ~policy_kind () =
+  let counts =
+    match processor_counts with
+    | Some c -> c
+    | None ->
+        let all = preset.P.Presets.job_processor_counts in
+        if config.Config.full then all
+        else begin
+          match all with
+          | a :: _ -> [ a; List.nth all (List.length all / 2); List.nth all (List.length all - 1) ]
+          | [] -> []
+        end
+  in
+  let dist = Setup.distribution dist_kind ~mtbf:preset.P.Presets.processor_mtbf in
+  let replicates = Config.scale config ~quick:6 ~full:600 in
+  let curves =
+    List.map
+      (fun workload_model ->
+        let points =
+          List.filter_map
+            (fun processors ->
+              let scenario =
+                Setup.scenario ~config ~dist ~preset ~workload_model ~processors ()
+              in
+              let job = scenario.S.Scenario.job in
+              let policy =
+                match policy_kind with
+                | `Optexp -> Po.Optexp.policy job
+                | `Dp_next_failure -> Po.Dp_policies.dp_next_failure job
+              in
+              S.Evaluation.average_makespan ~scenario ~policy ~replicates
+              |> Option.map (fun m -> (processors, m)))
+            counts
+        in
+        let best_processors =
+          match points with
+          | [] -> 0
+          | (p0, m0) :: rest ->
+              fst (List.fold_left (fun (bp, bm) (p, m) -> if m < bm then (p, m) else (bp, bm))
+                     (p0, m0) rest)
+        in
+        { workload_name = P.Workload.model_name workload_model; points; best_processors })
+      (P.Workload.all_paper_models ())
+  in
+  let policy_name = match policy_kind with `Optexp -> "OptExp" | `Dp_next_failure -> "DPNextFailure" in
+  {
+    title =
+      Printf.sprintf "Appendix D: average makespan vs p (%s, %s, %s)" policy_name
+        (Setup.dist_kind_name dist_kind) preset.P.Presets.label;
+    curves;
+  }
+
+let figure98 ?(config = Config.default ()) ~proportional () =
+  run ~config ~preset:(P.Presets.petascale ~proportional_overhead:proportional ())
+    ~dist_kind:Setup.Exponential ~policy_kind:`Optexp ()
+
+let figure99 ?(config = Config.default ()) () =
+  run ~config ~preset:(P.Presets.petascale ()) ~dist_kind:(Setup.Weibull 0.7)
+    ~policy_kind:`Dp_next_failure ()
+
+let print t ~csv =
+  Report.print_header t.title;
+  let series =
+    List.map
+      (fun c ->
+        {
+          Report.label = c.workload_name;
+          points = List.map (fun (p, m) -> (float_of_int p, m /. P.Units.day)) c.points;
+        })
+      t.curves
+  in
+  Report.print_series ~x_label:"processors" ~y_label:"average makespan (days)" series;
+  List.iter
+    (fun c -> Printf.printf "best enrollment for %s: %d processors\n" c.workload_name c.best_processors)
+    t.curves;
+  Report.write_csv
+    ~path:(Filename.concat (Report.results_dir ()) csv)
+    (Report.csv_of_series ~x_label:"processors" series)

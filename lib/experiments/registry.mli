@@ -1,0 +1,13 @@
+(** Named registry of every reproducible artifact, for the CLI and the
+    benchmark harness. *)
+
+type entry = {
+  id : string;  (** e.g. "fig4", "table2" *)
+  description : string;
+  run : Config.t -> unit;  (** prints rows and writes CSVs *)
+}
+
+val all : unit -> entry list
+val find : string -> entry option
+val run_all : Config.t -> unit
+val ids : unit -> string list

@@ -1,0 +1,104 @@
+module P = Ckpt_platform
+module Po = Ckpt_policies
+module S = Ckpt_simulator
+module F = Ckpt_failures
+
+type result = {
+  full_platform_makespan : float;
+  half_platform_makespan : float;
+  replicated_makespan : float;
+}
+
+(* One replicated execution: two independent p/2-processor trace sets,
+   chunks commit when either replica survives chunk + checkpoint. *)
+let simulate_replicated ~job ~period ~traces_a ~traces_b ~start_time =
+  let c = Po.Job.checkpoint_cost job in
+  let r = Po.Job.recovery_cost job in
+  let d = Po.Job.downtime job in
+  let next traces t =
+    match F.Trace_set.next_platform_failure traces ~after:t with
+    | Some (date, _) -> date
+    | None -> infinity
+  in
+  let now = ref start_time in
+  let remaining = ref job.Po.Job.work_time in
+  while !remaining > 1e-6 do
+    let chunk = Float.min period !remaining in
+    let finish = !now +. chunk +. c in
+    let fa = next traces_a !now and fb = next traces_b !now in
+    if fa >= finish || fb >= finish then begin
+      (* At least one replica commits the checkpoint; the other adopts
+         it (repair overlaps execution). *)
+      now := finish;
+      remaining := !remaining -. chunk
+    end
+    else begin
+      (* Both replicas struck: lose the chunk, resume after the later
+         failure's downtime plus a recovery. *)
+      now := Float.max fa fb +. d +. r
+    end
+  done;
+  !now -. start_time
+
+let average_periodic_makespan ~config ~scenario ~replicates =
+  let period = Po.Optexp.period scenario.S.Scenario.job in
+  ignore config;
+  match
+    S.Evaluation.average_makespan ~scenario ~policy:(Po.Policy.periodic "rep" ~period)
+      ~replicates
+  with
+  | Some m -> m
+  | None -> nan
+
+let run ?(config = Config.default ()) ?processors ~preset ~dist_kind () =
+  let p_full =
+    match processors with
+    | Some p -> p
+    | None -> preset.P.Presets.machine.P.Machine.total_processors
+  in
+  let p_half = max 1 (p_full / 2) in
+  let dist = Setup.distribution dist_kind ~mtbf:preset.P.Presets.processor_mtbf in
+  let replicates = Config.scale config ~quick:8 ~full:200 in
+  let scenario_full =
+    Setup.scenario ~config ~dist ~preset ~workload_model:P.Workload.Embarrassingly_parallel
+      ~processors:p_full ()
+  in
+  let scenario_half =
+    Setup.scenario ~config ~dist ~preset ~workload_model:P.Workload.Embarrassingly_parallel
+      ~processors:p_half ()
+  in
+  let full_platform_makespan =
+    average_periodic_makespan ~config ~scenario:scenario_full ~replicates
+  in
+  let half_platform_makespan =
+    average_periodic_makespan ~config ~scenario:scenario_half ~replicates
+  in
+  let job_half = scenario_half.S.Scenario.job in
+  let period = Po.Optexp.period job_half in
+  let acc = ref 0. in
+  for replicate = 0 to replicates - 1 do
+    let traces_a = S.Scenario.traces scenario_half ~replicate:(2 * replicate) in
+    let traces_b = S.Scenario.traces scenario_half ~replicate:((2 * replicate) + 1) in
+    acc :=
+      !acc
+      +. simulate_replicated ~job:job_half ~period ~traces_a ~traces_b
+           ~start_time:scenario_half.S.Scenario.start_time
+  done;
+  {
+    full_platform_makespan;
+    half_platform_makespan;
+    replicated_makespan = !acc /. float_of_int replicates;
+  }
+
+let print ?(config = Config.default ()) () =
+  Report.print_header "Section 8 extension: replication on platform halves (Petascale)";
+  List.iter
+    (fun dist_kind ->
+      let r = run ~config ~preset:(P.Presets.petascale ()) ~dist_kind () in
+      Printf.printf
+        "%-18s full-p: %8.2f d   half-p: %8.2f d   replicated half-p: %8.2f d\n%!"
+        (Setup.dist_kind_name dist_kind)
+        (r.full_platform_makespan /. P.Units.day)
+        (r.half_platform_makespan /. P.Units.day)
+        (r.replicated_makespan /. P.Units.day))
+    [ Setup.Exponential; Setup.Weibull 0.7 ]

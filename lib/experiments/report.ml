@@ -1,0 +1,109 @@
+type series = { label : string; points : (float * float) list }
+
+let print_header title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let abscissas series =
+  List.concat_map (fun s -> List.map fst s.points) series
+  |> List.sort_uniq compare
+
+let lookup s x =
+  match List.assoc_opt x s.points with
+  | Some v -> v
+  | None -> nan
+
+let print_series ~x_label ~y_label series =
+  Printf.printf "# y: %s\n" y_label;
+  Printf.printf "%-14s" x_label;
+  List.iter (fun s -> Printf.printf " %14s" s.label) series;
+  print_newline ();
+  List.iter
+    (fun x ->
+      Printf.printf "%-14g" x;
+      List.iter
+        (fun s ->
+          let v = lookup s x in
+          if Float.is_nan v then Printf.printf " %14s" "-" else Printf.printf " %14.5g" v)
+        series;
+      print_newline ())
+    (abscissas series);
+  print_string "%!"
+
+let print_table table = Format.printf "%a@." Ckpt_simulator.Evaluation.pp_table table
+
+let degradation_series tables =
+  let open Ckpt_simulator in
+  let names =
+    match tables with
+    | [] -> []
+    | (_, t) :: _ ->
+        "LowerBound" :: List.map (fun r -> r.Evaluation.policy_name) t.Evaluation.results
+  in
+  List.map
+    (fun name ->
+      {
+        label = name;
+        points =
+          List.map
+            (fun (x, table) ->
+              let r =
+                if name = "LowerBound" then Some table.Evaluation.lower_bound
+                else
+                  List.find_opt
+                    (fun r -> r.Evaluation.policy_name = name)
+                    table.Evaluation.results
+              in
+              match r with
+              | Some r when r.Evaluation.successes > 0 -> (x, r.Evaluation.average_degradation)
+              | Some _ | None -> (x, nan))
+            tables;
+      })
+    names
+
+let csv_of_series ~x_label series =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf x_label;
+  List.iter (fun s -> Buffer.add_string buf ("," ^ s.label)) series;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun x ->
+      Buffer.add_string buf (Printf.sprintf "%g" x);
+      List.iter
+        (fun s ->
+          let v = lookup s x in
+          Buffer.add_string buf (if Float.is_nan v then "," else Printf.sprintf ",%g" v))
+        series;
+      Buffer.add_char buf '\n')
+    (abscissas series);
+  Buffer.contents buf
+
+let csv_of_table table =
+  let open Ckpt_simulator in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "policy,avg_degradation,std_degradation,avg_makespan_s,successes,avg_failures,max_failures\n";
+  let row (r : Evaluation.policy_result) =
+    Buffer.add_string buf
+      (Printf.sprintf "%s,%g,%g,%g,%d,%g,%d\n" r.Evaluation.policy_name
+         r.Evaluation.average_degradation r.Evaluation.std_degradation
+         r.Evaluation.average_makespan r.Evaluation.successes r.Evaluation.average_failures
+         r.Evaluation.max_failures)
+  in
+  row table.Evaluation.lower_bound;
+  List.iter row table.Evaluation.results;
+  Buffer.contents buf
+
+let results_dir () =
+  match Sys.getenv_opt "CKPT_RESULTS_DIR" with Some d when d <> "" -> d | _ -> "results"
+
+let rec ensure_dir path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path) then begin
+    ensure_dir (Filename.dirname path);
+    try Sys.mkdir path 0o755 with Sys_error _ -> ()
+  end
+
+let write_csv ~path contents =
+  ensure_dir (Filename.dirname path);
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc

@@ -1,0 +1,33 @@
+(** Uniform textual/CSV output for experiment results. *)
+
+type series = {
+  label : string;
+  points : (float * float) list;  (** (abscissa, value); NaN = absent *)
+}
+
+val print_header : string -> unit
+(** Banner with the experiment id and title. *)
+
+val print_series : x_label:string -> y_label:string -> series list -> unit
+(** Columnar rendering: one row per abscissa, one column per series
+    (the textual equivalent of a paper figure). *)
+
+val print_table : Ckpt_simulator.Evaluation.table -> unit
+
+val degradation_series :
+  (float * Ckpt_simulator.Evaluation.table) list -> series list
+(** One series per policy (LowerBound first) across a sweep of
+    evaluation tables: points are (abscissa, average degradation),
+    NaN where the policy completed no run. *)
+
+val csv_of_series : x_label:string -> series list -> string
+
+val csv_of_table : Ckpt_simulator.Evaluation.table -> string
+(** One row per policy (LowerBound first): name, average degradation,
+    standard deviation, average makespan, successes, failure stats. *)
+
+val write_csv : path:string -> string -> unit
+(** Create parent directory as needed and write the contents. *)
+
+val results_dir : unit -> string
+(** Where experiment CSVs land: [$CKPT_RESULTS_DIR] or ["results"]. *)

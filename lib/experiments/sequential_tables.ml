@@ -1,0 +1,41 @@
+module P = Ckpt_platform
+module S = Ckpt_simulator
+
+type result = {
+  mtbf_label : string;
+  table : S.Evaluation.table;
+}
+
+let default_mtbfs =
+  [ ("1 hour", P.Units.hour); ("1 day", P.Units.day); ("1 week", P.Units.week) ]
+
+let run ?(config = Config.default ()) ~dist_kind ?(mtbfs = default_mtbfs) () =
+  Ckpt_parallel.Domain_pool.parallel_map_list
+    (fun (mtbf_label, mtbf) ->
+      let dist = Setup.distribution dist_kind ~mtbf in
+      let preset = P.Presets.one_processor ~mtbf in
+      let scenario =
+        Setup.scenario ~config ~dist ~preset
+          ~workload_model:P.Workload.Embarrassingly_parallel ~processors:1 ()
+      in
+      let policies = Setup.policies ~dp_makespan:true scenario in
+      let replicates = Config.scale config ~quick:8 ~full:600 in
+      { mtbf_label; table = S.Evaluation.degradation_table ~scenario ~policies ~replicates })
+    mtbfs
+
+let print ?(config = Config.default ()) ~dist_kind () =
+  let name = Setup.dist_kind_name dist_kind in
+  let number = match dist_kind with Setup.Exponential -> "2" | _ -> "3" in
+  Report.print_header
+    (Printf.sprintf "Table %s: single processor, %s failures (degradation from best)" number name);
+  List.iter
+    (fun r ->
+      Printf.printf "-- MTBF = %s --\n" r.mtbf_label;
+      Report.print_table r.table;
+      Report.write_csv
+        ~path:
+          (Filename.concat (Report.results_dir ())
+             (Printf.sprintf "table%s_%s.csv" number
+                (String.map (fun c -> if c = ' ' then '_' else c) r.mtbf_label)))
+        (Report.csv_of_table r.table))
+    (run ~config ~dist_kind ())

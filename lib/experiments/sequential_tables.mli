@@ -1,0 +1,20 @@
+(** Tables 2 and 3: single-processor degradation-from-best for MTBFs
+    of 1 hour / 1 day / 1 week, work of 20 days, C = R = 600 s,
+    D = 60 s, under Exponential (Table 2) and Weibull k = 0.7
+    (Table 3) failures.  All eight heuristics plus LowerBound and
+    PeriodLB. *)
+
+type result = {
+  mtbf_label : string;
+  table : Ckpt_simulator.Evaluation.table;
+}
+
+val run :
+  ?config:Config.t ->
+  dist_kind:Setup.dist_kind ->
+  ?mtbfs:(string * float) list ->
+  unit ->
+  result list
+(** Default MTBFs: 1 hour, 1 day, 1 week (paper's Table 1). *)
+
+val print : ?config:Config.t -> dist_kind:Setup.dist_kind -> unit -> unit

@@ -1,0 +1,19 @@
+(** Figure 5: sensitivity to the Weibull shape parameter [k] on the
+    full Jaguar-like platform (45,208 processors): average makespan
+    degradation of every heuristic for k = 0.1 .. 1.0.  DPNextFailure
+    should stay near 1 for the production range k = 0.33-0.78 while
+    the periodic MTBF-only heuristics degrade sharply as k
+    decreases, and Liu fails to produce plans for small k. *)
+
+type point = {
+  shape : float;
+  table : Ckpt_simulator.Evaluation.table;
+}
+
+type t = { points : point list }
+
+val run :
+  ?config:Config.t -> ?shapes:float list -> ?processors:int -> unit -> t
+(** Default shapes: 0.1 to 1.0 by 0.1 (quick runs: {0.3, 0.5, 0.7, 1.0}). *)
+
+val print : ?config:Config.t -> unit -> unit

@@ -1,0 +1,23 @@
+module P = Ckpt_platform
+module Po = Ckpt_policies
+module S = Ckpt_simulator
+
+let run ?(config = Config.default ()) ?(processors = 1 lsl 13) ?(shape = 0.7) () =
+  let preset = P.Presets.petascale () in
+  let dist = Setup.distribution (Setup.Weibull shape) ~mtbf:preset.P.Presets.processor_mtbf in
+  let scenario =
+    Setup.scenario ~config ~dist ~preset ~workload_model:P.Workload.Embarrassingly_parallel
+      ~processors ()
+  in
+  let job = scenario.S.Scenario.job in
+  let dpnf = Po.Dp_policies.dp_next_failure job in
+  let replicates = Config.scale config ~quick:12 ~full:200 in
+  List.map
+    (fun baseline ->
+      S.Significance.compare_policies ~scenario ~a:dpnf ~b:baseline ~replicates)
+    [ Po.Optexp.policy job; Po.Young.policy job ]
+
+let print ?(config = Config.default ()) () =
+  Report.print_header
+    "Paired significance: DPNextFailure vs periodic heuristics (Weibull k=0.7, 8,192 procs)";
+  List.iter (fun c -> Format.printf "%a@.@." S.Significance.pp c) (run ~config ())

@@ -1,0 +1,25 @@
+(** Section 5.2.2: how many spare processors does a site need so that
+    a job never stalls waiting for hardware?
+
+    The paper observes, for a ~10.5-day DPNextFailure run on 45,208
+    processors, 38.0 failures on average and at most 66 — so "circa 1"
+    spare per ~thousand processors suffices (failed units return to
+    service after their downtime, so the in-flight repair count, not
+    the total, is what spares must cover; the total is the
+    conservative upper bound reported here, as in the paper). *)
+
+type t = {
+  processors : int;
+  replicates : int;
+  mean_failures : float;
+  max_failures : int;
+  q50 : float;
+  q90 : float;
+  q99 : float;
+  suggested_spares : int;  (** ceiling of the 99th percentile. *)
+}
+
+val run : ?config:Config.t -> ?processors:int -> unit -> t
+(** DPNextFailure on the Petascale Weibull scenario. *)
+
+val print : ?config:Config.t -> unit -> unit

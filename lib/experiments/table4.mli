@@ -1,0 +1,18 @@
+(** Table 4: average degradation from best (and standard deviation)
+    on the full 45,208-processor platform with Weibull (k = 0.7)
+    failures, embarrassingly parallel job and fixed checkpoint cost —
+    plus Section 5.2.2's spare-processor statistic (failures per
+    DPNextFailure run: ~38 average, 66 maximum in the paper). *)
+
+type t = {
+  table : Ckpt_simulator.Evaluation.table;
+  dp_average_failures : float;
+  dp_max_failures : int;
+  dp_min_chunk : float;
+  dp_max_chunk : float;
+      (** the paper reports DPNextFailure varying chunks from 2,984 s
+          up to 6,108 s on this platform. *)
+}
+
+val run : ?config:Config.t -> unit -> t
+val print : ?config:Config.t -> unit -> unit

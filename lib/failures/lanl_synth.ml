@@ -1,0 +1,66 @@
+module Rng = Ckpt_prng.Rng
+module Distribution = Ckpt_distributions.Distribution
+module Weibull = Ckpt_distributions.Weibull
+module Lognormal = Ckpt_distributions.Lognormal
+
+type parameters = {
+  nodes : int;
+  intervals_per_node : int;
+  weibull_shape : float;
+  mean_interval : float;
+  short_uptime_fraction : float;
+  short_uptime_scale : float;
+}
+
+let node_group_size = 4
+
+let cluster19_parameters =
+  {
+    nodes = 1024;
+    intervals_per_node = 24;
+    weibull_shape = 0.45;
+    mean_interval = 1.47e7;
+    short_uptime_fraction = 0.12;
+    short_uptime_scale = 7200.;
+  }
+
+let cluster18_parameters =
+  {
+    nodes = 1024;
+    intervals_per_node = 20;
+    weibull_shape = 0.38;
+    mean_interval = 1.2e7;
+    short_uptime_fraction = 0.18;
+    short_uptime_scale = 3600.;
+  }
+
+let generate ?(seed = 0x1A91L) p =
+  if p.nodes <= 0 || p.intervals_per_node <= 0 then
+    invalid_arg "Lanl_synth.generate: node/interval counts must be positive";
+  if p.short_uptime_fraction < 0. || p.short_uptime_fraction >= 1. then
+    invalid_arg "Lanl_synth.generate: short_uptime_fraction outside [0, 1)";
+  (* Pick the bulk Weibull mean so the mixture mean matches. *)
+  let short_sigma = 1.0 in
+  let short_mean = p.short_uptime_scale *. exp (0.5 *. short_sigma *. short_sigma) in
+  let bulk_mean =
+    (p.mean_interval -. (p.short_uptime_fraction *. short_mean))
+    /. (1. -. p.short_uptime_fraction)
+  in
+  if bulk_mean <= 0. then invalid_arg "Lanl_synth.generate: inconsistent mean parameters";
+  let bulk = Weibull.of_mtbf ~mtbf:bulk_mean ~shape:p.weibull_shape in
+  let short_mode = Lognormal.create ~mu:(log p.short_uptime_scale) ~sigma:short_sigma in
+  let mixture =
+    Ckpt_distributions.Mixture.create
+      [ (1. -. p.short_uptime_fraction, bulk); (p.short_uptime_fraction, short_mode) ]
+  in
+  let rng = Rng.create ~seed in
+  let total = p.nodes * p.intervals_per_node in
+  let intervals =
+    Array.init total (fun i ->
+        let node_rng = Rng.derive rng (i / p.intervals_per_node) in
+        (* Re-derive a per-sample stream so interval j of node n is
+           stable regardless of how many samples precede it. *)
+        let sample_rng = Rng.derive node_rng (i mod p.intervals_per_node) in
+        Float.max (mixture.Distribution.sample sample_rng) 1.)
+  in
+  Failure_log.of_intervals ~nodes:p.nodes intervals

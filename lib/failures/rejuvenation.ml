@@ -1,0 +1,54 @@
+module Rng = Ckpt_prng.Rng
+module Distribution = Ckpt_distributions.Distribution
+module Weibull = Ckpt_distributions.Weibull
+module Special = Ckpt_numerics.Special
+
+type policy = Rejuvenate_all | Rejuvenate_failed_only
+
+let platform_mtbf policy dist ~processors ~downtime =
+  if processors <= 0 then invalid_arg "Rejuvenation.platform_mtbf: processors must be positive";
+  match policy with
+  | Rejuvenate_all ->
+      let dmin = Distribution.min_of_iid dist processors in
+      downtime +. dmin.Distribution.mean
+  | Rejuvenate_failed_only -> downtime +. (dist.Distribution.mean /. float_of_int processors)
+
+let weibull_platform_mtbf_rejuvenate_all ~mtbf ~shape ~processors ~downtime =
+  let scale = Weibull.scale_for_mtbf ~mtbf ~shape in
+  let platform_scale = Weibull.platform_scale ~scale ~shape ~processors in
+  downtime +. (platform_scale *. Special.gamma (1. +. (1. /. shape)))
+
+let figure1_series ~mtbf ~shape ~downtime ~processor_exponents =
+  List.map
+    (fun e ->
+      let p = 1 lsl e in
+      let with_rejuvenation =
+        weibull_platform_mtbf_rejuvenate_all ~mtbf ~shape ~processors:p ~downtime
+      in
+      let without = downtime +. (mtbf /. float_of_int p) in
+      (p, with_rejuvenation, without))
+    processor_exponents
+
+let simulated_platform_mtbf policy dist ~processors ~downtime ~seed ~samples =
+  if samples <= 0 then invalid_arg "Rejuvenation.simulated_platform_mtbf: samples must be positive";
+  let rng = Rng.create ~seed in
+  match policy with
+  | Rejuvenate_all ->
+      (* Time to first failure of a fresh platform, averaged. *)
+      let dmin = Distribution.min_of_iid dist processors in
+      let acc = ref 0. in
+      for _ = 1 to samples do
+        acc := !acc +. dmin.Distribution.sample rng
+      done;
+      downtime +. (!acc /. float_of_int samples)
+  | Rejuvenate_failed_only ->
+      (* Stationary regime: run p independent renewal processes long
+         enough to observe [samples] platform failures in total and
+         divide elapsed time by the count. *)
+      let horizon = dist.Distribution.mean *. float_of_int samples /. float_of_int processors in
+      let total = ref 0 in
+      for i = 0 to processors - 1 do
+        let tr = Trace.generate (Rng.derive rng i) dist ~horizon in
+        total := !total + Trace.count tr
+      done;
+      if !total = 0 then infinity else downtime +. (horizon /. float_of_int !total)

@@ -1,0 +1,54 @@
+(** Rejuvenation models and the platform-MTBF analysis of Section 3.1
+    (Figure 1).
+
+    After a failure, either {e all} processors are rejuvenated together
+    (rebooted; every lifetime restarts), or only the failed one is.
+    With Weibull shape [k < 1] (as in production logs), rejuvenating
+    everything destroys the accumulated "survivorship" of healthy
+    processors and lowers the platform MTBF; the paper therefore adopts
+    failed-only rejuvenation. *)
+
+type policy = Rejuvenate_all | Rejuvenate_failed_only
+
+val platform_mtbf :
+  policy ->
+  Ckpt_distributions.Distribution.t ->
+  processors:int ->
+  downtime:float ->
+  float
+(** [platform_mtbf policy dist ~processors ~downtime] is the mean time
+    between platform failures (a failure of any processor):
+    - [Rejuvenate_all]: [D + E(min of p iid lifetimes)] — for Weibull
+      this is [D + mu / p^(1/k)];
+    - [Rejuvenate_failed_only]: [D + mu / p], the paper's expression
+      (each processor independently fails once per [mu + D ~= mu]).
+    @raise Invalid_argument if [processors <= 0]. *)
+
+val weibull_platform_mtbf_rejuvenate_all :
+  mtbf:float -> shape:float -> processors:int -> downtime:float -> float
+(** Closed form [D + mu / p^(1/k)] used for Figure 1, exposed to test
+    the generic [min_of_iid] path against it. *)
+
+val figure1_series :
+  mtbf:float ->
+  shape:float ->
+  downtime:float ->
+  processor_exponents:int list ->
+  (int * float * float) list
+(** For each [e] in [processor_exponents], the triple
+    [(2^e, mtbf_with_rejuvenation, mtbf_without)] — the two curves of
+    Figure 1 (paper: shape 0.70, processor MTBF 125 y, D = 60 s,
+    p = 2^4 .. 2^22). *)
+
+val simulated_platform_mtbf :
+  policy ->
+  Ckpt_distributions.Distribution.t ->
+  processors:int ->
+  downtime:float ->
+  seed:int64 ->
+  samples:int ->
+  float
+(** Monte-Carlo estimate of the same quantity, for validating the
+    closed forms: repeatedly draw the time to the first platform
+    failure from a fresh (rejuvenate-all) or stationary-aged
+    (failed-only) platform. *)

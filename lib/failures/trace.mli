@@ -1,0 +1,34 @@
+(** A failure trace: the failure dates of one processor over a fixed
+    time horizon (Section 4.3).
+
+    Traces are renewal sequences: [t_n = t_{n-1} + X_n] with iid
+    inter-arrival times, generated up to the horizon.  The simulator
+    interprets a date falling inside the processor's own downtime as
+    absorbed (failures cannot strike during a downtime). *)
+
+type t = private { failure_times : float array; horizon : float }
+(** [failure_times] is strictly increasing, within [\[0, horizon)]. *)
+
+val generate :
+  Ckpt_prng.Rng.t -> Ckpt_distributions.Distribution.t -> horizon:float -> t
+(** [generate rng dist ~horizon] samples a renewal trace.
+    @raise Invalid_argument if [horizon <= 0]. *)
+
+val of_times : horizon:float -> float array -> t
+(** Build a trace from explicit dates (tests, log replay).  The array
+    is copied and must be sorted, strictly increasing, within range.
+    @raise Invalid_argument otherwise. *)
+
+val empty : horizon:float -> t
+
+val count : t -> int
+
+val next_failure_at_or_after : t -> float -> float option
+(** [next_failure_at_or_after t time] is the earliest failure date
+    [>= time], if any (binary search). *)
+
+val last_failure_before : t -> float -> float option
+(** The latest failure date [< time], if any. *)
+
+val count_in_window : t -> lo:float -> hi:float -> int
+(** Number of failure dates in [\[lo, hi)]. *)

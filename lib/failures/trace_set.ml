@@ -1,0 +1,87 @@
+module Rng = Ckpt_prng.Rng
+module Distribution = Ckpt_distributions.Distribution
+
+type t = {
+  traces : Trace.t array;  (* one per processor; may share under grouping *)
+  horizon : float;
+  merged : (float * int) array;  (* all (date, processor) sorted by date *)
+}
+
+let build_merged traces =
+  let total = Array.fold_left (fun acc tr -> acc + Trace.count tr) 0 traces in
+  let merged = Array.make total (0., 0) in
+  let k = ref 0 in
+  Array.iteri
+    (fun proc tr ->
+      Array.iter
+        (fun date ->
+          merged.(!k) <- (date, proc);
+          incr k)
+        tr.Trace.failure_times)
+    traces;
+  Array.sort (fun (a, _) (b, _) -> compare a b) merged;
+  merged
+
+let of_traces traces =
+  let n = Array.length traces in
+  if n = 0 then invalid_arg "Trace_set.of_traces: empty";
+  let horizon = traces.(0).Trace.horizon in
+  Array.iter
+    (fun tr ->
+      if tr.Trace.horizon <> horizon then invalid_arg "Trace_set.of_traces: mismatched horizons")
+    traces;
+  { traces; horizon; merged = build_merged traces }
+
+(* Key layout for derived streams: replicate in the high bits,
+   processor (or node) in the low bits, so streams never collide
+   across replicates of the same experiment. *)
+let stream_key ~replicate ~unit_index = (replicate * 0x1000000) + unit_index
+
+let generate ~seed ~replicate dist ~processors ~horizon =
+  if processors <= 0 then invalid_arg "Trace_set.generate: processors must be positive";
+  let root = Rng.create ~seed in
+  let traces =
+    Array.init processors (fun i ->
+        Trace.generate (Rng.derive root (stream_key ~replicate ~unit_index:i)) dist ~horizon)
+  in
+  of_traces traces
+
+let processors t = Array.length t.traces
+let horizon t = t.horizon
+
+let trace t i =
+  if i < 0 || i >= Array.length t.traces then invalid_arg "Trace_set.trace: index out of range";
+  t.traces.(i)
+
+let prefix t p =
+  if p <= 0 || p > Array.length t.traces then invalid_arg "Trace_set.prefix: bad processor count";
+  if p = Array.length t.traces then t
+  else begin
+    let traces = Array.sub t.traces 0 p in
+    let merged = Array.of_seq (Seq.filter (fun (_, proc) -> proc < p) (Array.to_seq t.merged)) in
+    { traces; horizon = t.horizon; merged }
+  end
+
+let total_failures t = Array.fold_left (fun acc tr -> acc + Trace.count tr) 0 t.traces
+
+let events t = t.merged
+
+let next_event_index t ~after =
+  let a = t.merged in
+  let n = Array.length a in
+  let date i = fst a.(i) in
+  if n = 0 || date (n - 1) < after then n
+  else if date 0 >= after then 0
+  else begin
+    (* Invariant: date lo < after <= date hi. *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if date mid >= after then hi := mid else lo := mid
+    done;
+    !hi
+  end
+
+let next_platform_failure t ~after =
+  let i = next_event_index t ~after in
+  if i >= Array.length t.merged then None else Some t.merged.(i)

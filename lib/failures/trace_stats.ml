@@ -1,0 +1,69 @@
+module Summary = Ckpt_numerics.Summary
+
+type t = {
+  processors : int;
+  horizon : float;
+  total_failures : int;
+  empirical_unit_mtbf : float;
+  empirical_platform_mtbf : float;
+  interarrival_mean : float;
+  interarrival_cv : float;
+  max_failures_on_one_unit : int;
+  idle_units : int;
+}
+
+let interarrivals traces =
+  let out = ref [] in
+  for i = Trace_set.processors traces - 1 downto 0 do
+    let times = (Trace_set.trace traces i).Trace.failure_times in
+    Array.iteri
+      (fun j t ->
+        let gap = if j = 0 then t else t -. times.(j - 1) in
+        out := gap :: !out)
+      times
+  done;
+  Array.of_list !out
+
+let measure traces =
+  let processors = Trace_set.processors traces in
+  let horizon = Trace_set.horizon traces in
+  let total_failures = Trace_set.total_failures traces in
+  let gaps = interarrivals traces in
+  let gap_summary = Summary.of_array gaps in
+  let max_failures = ref 0 and idle = ref 0 in
+  for i = 0 to processors - 1 do
+    let n = Trace.count (Trace_set.trace traces i) in
+    if n = 0 then incr idle;
+    if n > !max_failures then max_failures := n
+  done;
+  let mean = Summary.mean gap_summary in
+  {
+    processors;
+    horizon;
+    total_failures;
+    empirical_unit_mtbf =
+      (if total_failures = 0 then infinity
+       else horizon *. float_of_int processors /. float_of_int total_failures);
+    empirical_platform_mtbf =
+      (if total_failures = 0 then infinity else horizon /. float_of_int total_failures);
+    interarrival_mean = mean;
+    interarrival_cv =
+      (if total_failures < 2 || mean <= 0. then nan else Summary.std gap_summary /. mean);
+    max_failures_on_one_unit = !max_failures;
+    idle_units = !idle;
+  }
+
+let availability traces ~downtime =
+  if downtime < 0. then invalid_arg "Trace_stats.availability: negative downtime";
+  let s = measure traces in
+  let repair = float_of_int s.total_failures *. downtime in
+  Float.max 0. (1. -. (repair /. (float_of_int s.processors *. s.horizon)))
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>%d units over %g s: %d failures@,\
+     unit MTBF %.4g s, platform MTBF %.4g s@,\
+     inter-arrival mean %.4g s, CV %.3f@,\
+     busiest unit: %d failures; %d units failure-free@]"
+    t.processors t.horizon t.total_failures t.empirical_unit_mtbf t.empirical_platform_mtbf
+    t.interarrival_mean t.interarrival_cv t.max_failures_on_one_unit t.idle_units

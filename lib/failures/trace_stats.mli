@@ -1,0 +1,41 @@
+(** Descriptive statistics of failure traces — the other direction of
+    Section 4.3: instead of generating traces from a distribution,
+    measure a trace set the way one measures a production log, so
+    generated platforms can be validated against their specification
+    (and real logs compared with synthetic ones). *)
+
+type t = {
+  processors : int;
+  horizon : float;
+  total_failures : int;
+  empirical_unit_mtbf : float;
+      (** total up-time divided by failures: the per-unit MTBF a log
+          analysis would report. *)
+  empirical_platform_mtbf : float;  (** horizon / total failures. *)
+  interarrival_mean : float;  (** mean of observed inter-arrival gaps. *)
+  interarrival_cv : float;
+      (** coefficient of variation of the gaps: 1 for a Poisson
+          process, > 1 for the bursty (Weibull k < 1) processes real
+          machines exhibit. *)
+  max_failures_on_one_unit : int;
+  idle_units : int;  (** units that never failed within the horizon. *)
+}
+
+val measure : Trace_set.t -> t
+
+val interarrivals : Trace_set.t -> float array
+(** All per-unit inter-arrival gaps (first gap measured from the
+    horizon start), concatenated; feed to
+    {!Ckpt_distributions.Fit} to recover the generating family.
+
+    Caveat: the lifetime in progress at the horizon's end is censored
+    and dropped, so when the MTBF is comparable to (or exceeds) the
+    horizon the observed gaps are biased short — exactly as in real
+    logs of highly reliable nodes. *)
+
+val availability : Trace_set.t -> downtime:float -> float
+(** Fraction of unit-time the platform is up when every failure costs
+    [downtime] seconds of repair: [1 - failures * D / (p * horizon)]
+    (floored at 0). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+type t = {
+  lo : float;
+  hi : float;
+  bins : int array;
+  mutable total : int;
+  mutable under : int;
+  mutable over : int;
+}
+
+let create ~lo ~hi ~bins =
+  if hi <= lo then invalid_arg "Histogram.create: hi <= lo";
+  if bins <= 0 then invalid_arg "Histogram.create: bins <= 0";
+  { lo; hi; bins = Array.make bins 0; total = 0; under = 0; over = 0 }
+
+let add t x =
+  t.total <- t.total + 1;
+  if x < t.lo then t.under <- t.under + 1
+  else if x >= t.hi then t.over <- t.over + 1
+  else begin
+    let n = Array.length t.bins in
+    let i = int_of_float (float_of_int n *. (x -. t.lo) /. (t.hi -. t.lo)) in
+    let i = if i >= n then n - 1 else i in
+    t.bins.(i) <- t.bins.(i) + 1
+  end
+
+let count t = t.total
+
+let check_index t i =
+  if i < 0 || i >= Array.length t.bins then invalid_arg "Histogram: bin index out of range"
+
+let bin_count t i =
+  check_index t i;
+  t.bins.(i)
+
+let bin_width t = (t.hi -. t.lo) /. float_of_int (Array.length t.bins)
+
+let density t i =
+  check_index t i;
+  if t.total = 0 then nan
+  else float_of_int t.bins.(i) /. (float_of_int t.total *. bin_width t)
+
+let bin_center t i =
+  check_index t i;
+  t.lo +. ((float_of_int i +. 0.5) *. bin_width t)
+
+let underflow t = t.under
+let overflow t = t.over
+
+let chi_square_uniform t =
+  let n = Array.length t.bins in
+  let in_range = t.total - t.under - t.over in
+  if in_range = 0 then 0.
+  else begin
+    let expected = float_of_int in_range /. float_of_int n in
+    Array.fold_left
+      (fun acc c ->
+        let d = float_of_int c -. expected in
+        acc +. (d *. d /. expected))
+      0. t.bins
+  end

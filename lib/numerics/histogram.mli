@@ -1,0 +1,30 @@
+(** Fixed-bin histograms, used for sanity-checking sampled failure
+    inter-arrival times against their analytic densities. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [create ~lo ~hi ~bins] allocates a histogram over [\[lo, hi)].
+    @raise Invalid_argument if [hi <= lo] or [bins <= 0]. *)
+
+val add : t -> float -> unit
+(** Observations outside [\[lo, hi)] are counted in overflow bins. *)
+
+val count : t -> int
+(** Total number of observations, including overflow. *)
+
+val bin_count : t -> int -> int
+(** [bin_count t i] is the number of observations in bin [i].
+    @raise Invalid_argument if [i] is out of range. *)
+
+val density : t -> int -> float
+(** [density t i] is the empirical density estimate over bin [i]:
+    count / (total * bin_width).  [nan] when empty. *)
+
+val bin_center : t -> int -> float
+val underflow : t -> int
+val overflow : t -> int
+
+val chi_square_uniform : t -> float
+(** Pearson chi-square statistic of the in-range bins against the
+    uniform distribution; used to test PRNG uniformity. *)

@@ -1,0 +1,66 @@
+let branch_point = -.exp (-1.)
+
+(* Halley's method on f(w) = w e^w - z.  Quadratic-plus convergence:
+   a handful of iterations suffice from any sane starting point. *)
+let halley z w0 =
+  let w = ref w0 in
+  let continue = ref true in
+  let iter = ref 0 in
+  while !continue && !iter < 100 do
+    incr iter;
+    let w_ = !w in
+    let ew = exp w_ in
+    let f = (w_ *. ew) -. z in
+    let f' = ew *. (w_ +. 1.) in
+    let f'' = ew *. (w_ +. 2.) in
+    let denom = f' -. (f *. f'' /. (2. *. f')) in
+    let step = if denom = 0. then 0. else f /. denom in
+    w := w_ -. step;
+    if abs_float step <= 1e-16 *. (1. +. abs_float !w) then continue := false
+  done;
+  !w
+
+let check_domain name z =
+  (* Allow a hair of rounding slack below -1/e. *)
+  if z < branch_point -. 1e-12 then
+    invalid_arg (Printf.sprintf "Lambert_w.%s: argument %g below -1/e" name z)
+
+let w0 z =
+  check_domain "w0" z;
+  if z = 0. then 0.
+  else if z <= branch_point +. 1e-15 then -1.
+  else
+    let guess =
+      if z < -0.25 then
+        (* Series around the branch point: w = -1 + p - p^2/3 + ...,
+           p = sqrt(2 (e z + 1)). *)
+        let p = sqrt (2. *. ((exp 1. *. z) +. 1.)) in
+        -1. +. p -. (p *. p /. 3.)
+      else if z < 3. then
+        (* log1p tracks W well for moderate arguments and Halley
+           finishes the job. *)
+        log1p z
+      else
+        (* Asymptotic: log z - log log z (safe: log z >= log 3). *)
+        let l1 = log z in
+        let l2 = log l1 in
+        l1 -. l2 +. (l2 /. l1)
+    in
+    halley z guess
+
+let wm1 z =
+  check_domain "wm1" z;
+  if z >= 0. then invalid_arg "Lambert_w.wm1: argument must be negative";
+  if z <= branch_point +. 1e-15 then -1.
+  else
+    let guess =
+      if z > -0.1 then
+        (* Asymptotic near 0-: w ~ log(-z) - log(-log(-z)). *)
+        let l1 = log (-.z) in
+        let l2 = log (-.l1) in
+        l1 -. l2
+      else
+        let p = sqrt (2. *. ((exp 1. *. z) +. 1.)) in
+        -1. -. p -. (p *. p /. 3.)
+    in
+    halley z guess

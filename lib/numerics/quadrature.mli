@@ -1,0 +1,22 @@
+(** Numerical integration.
+
+    The simulator needs expectations such as
+    [E(Tlost(x|tau)) = (1/(F(tau+x)-F(tau))) * Int_0^x t f(tau+t) dt]
+    for distributions without closed forms (Weibull, LogNormal,
+    empirical mixtures). *)
+
+val adaptive_simpson :
+  ?tolerance:float -> ?max_depth:int -> f:(float -> float) ->
+  lo:float -> hi:float -> unit -> float
+(** [adaptive_simpson ~f ~lo ~hi ()] integrates [f] on [\[lo, hi\]] by
+    recursive Simpson subdivision with Richardson error control. *)
+
+val gauss_legendre_32 : f:(float -> float) -> lo:float -> hi:float -> float
+(** Fixed 32-point Gauss-Legendre rule on [\[lo, hi\]]; exact for
+    polynomials of degree 63, cheap enough for inner loops. *)
+
+val integrate_to_infinity :
+  ?tolerance:float -> f:(float -> float) -> lo:float -> unit -> float
+(** [integrate_to_infinity ~f ~lo ()] integrates an eventually-decaying
+    [f] on [\[lo, inf)] by doubling panels until a panel contributes
+    less than [tolerance] relative mass. *)

@@ -1,0 +1,133 @@
+exception No_bracket
+
+let default_tolerance = 1e-12
+
+let bisect ?(tolerance = default_tolerance) ?(max_iterations = 200) ~f ~lo ~hi () =
+  let flo = f lo and fhi = f hi in
+  if flo = 0. then lo
+  else if fhi = 0. then hi
+  else if flo *. fhi > 0. then raise No_bracket
+  else begin
+    let lo = ref lo and hi = ref hi and flo = ref flo in
+    let i = ref 0 in
+    while !hi -. !lo > tolerance *. (1. +. abs_float !lo) && !i < max_iterations do
+      incr i;
+      let mid = 0.5 *. (!lo +. !hi) in
+      let fmid = f mid in
+      if fmid = 0. then begin
+        lo := mid;
+        hi := mid
+      end
+      else if !flo *. fmid < 0. then hi := mid
+      else begin
+        lo := mid;
+        flo := fmid
+      end
+    done;
+    0.5 *. (!lo +. !hi)
+  end
+
+let brent ?(tolerance = default_tolerance) ?(max_iterations = 200) ~f ~lo ~hi () =
+  let a = ref lo and b = ref hi in
+  let fa = ref (f !a) and fb = ref (f !b) in
+  if !fa = 0. then !a
+  else if !fb = 0. then !b
+  else if !fa *. !fb > 0. then raise No_bracket
+  else begin
+    if abs_float !fa < abs_float !fb then begin
+      let t = !a in a := !b; b := t;
+      let t = !fa in fa := !fb; fb := t
+    end;
+    let c = ref !a and fc = ref !fa in
+    let d = ref 0. and mflag = ref true in
+    let i = ref 0 in
+    while !fb <> 0. && abs_float (!b -. !a) > tolerance *. (1. +. abs_float !b)
+          && !i < max_iterations do
+      incr i;
+      let s =
+        if !fa <> !fc && !fb <> !fc then
+          (* Inverse quadratic interpolation. *)
+          (!a *. !fb *. !fc /. ((!fa -. !fb) *. (!fa -. !fc)))
+          +. (!b *. !fa *. !fc /. ((!fb -. !fa) *. (!fb -. !fc)))
+          +. (!c *. !fa *. !fb /. ((!fc -. !fa) *. (!fc -. !fb)))
+        else !b -. (!fb *. (!b -. !a) /. (!fb -. !fa))
+      in
+      let lo_b, hi_b =
+        let m = (3. *. !a +. !b) /. 4. in
+        if m < !b then (m, !b) else (!b, m)
+      in
+      let use_bisection =
+        s < lo_b || s > hi_b
+        || (!mflag && abs_float (s -. !b) >= abs_float (!b -. !c) /. 2.)
+        || ((not !mflag) && abs_float (s -. !b) >= abs_float (!c -. !d) /. 2.)
+        || (!mflag && abs_float (!b -. !c) < tolerance)
+        || ((not !mflag) && abs_float (!c -. !d) < tolerance)
+      in
+      let s = if use_bisection then 0.5 *. (!a +. !b) else s in
+      mflag := use_bisection;
+      let fs = f s in
+      d := !c;
+      c := !b;
+      fc := !fb;
+      if !fa *. fs < 0. then begin
+        b := s;
+        fb := fs
+      end
+      else begin
+        a := s;
+        fa := fs
+      end;
+      if abs_float !fa < abs_float !fb then begin
+        let t = !a in a := !b; b := t;
+        let t = !fa in fa := !fb; fb := t
+      end
+    done;
+    !b
+  end
+
+let invphi = (sqrt 5. -. 1.) /. 2.
+
+let golden_section_min ?(tolerance = 1e-10) ?(max_iterations = 200) ~f ~lo ~hi () =
+  let a = ref lo and b = ref hi in
+  let c = ref (!b -. (invphi *. (!b -. !a))) in
+  let d = ref (!a +. (invphi *. (!b -. !a))) in
+  let fc = ref (f !c) and fd = ref (f !d) in
+  let i = ref 0 in
+  while !b -. !a > tolerance *. (1. +. abs_float !a +. abs_float !b)
+        && !i < max_iterations do
+    incr i;
+    if !fc < !fd then begin
+      b := !d;
+      d := !c;
+      fd := !fc;
+      c := !b -. (invphi *. (!b -. !a));
+      fc := f !c
+    end
+    else begin
+      a := !c;
+      c := !d;
+      fc := !fd;
+      d := !a +. (invphi *. (!b -. !a));
+      fd := f !d
+    end
+  done;
+  0.5 *. (!a +. !b)
+
+let grid_then_golden ?(points = 64) ~f ~lo ~hi () =
+  if points < 3 then invalid_arg "Rootfind.grid_then_golden: need >= 3 points";
+  let log_spaced = lo > 0. in
+  let abscissa i =
+    let t = float_of_int i /. float_of_int (points - 1) in
+    if log_spaced then lo *. exp (t *. log (hi /. lo)) else lo +. (t *. (hi -. lo))
+  in
+  let best = ref 0 and best_v = ref (f (abscissa 0)) in
+  for i = 1 to points - 1 do
+    let v = f (abscissa i) in
+    if v < !best_v then begin
+      best := i;
+      best_v := v
+    end
+  done;
+  let lo' = abscissa (max 0 (!best - 1)) in
+  let hi' = abscissa (min (points - 1) (!best + 1)) in
+  golden_section_min ~f ~lo:lo' ~hi:hi' ()

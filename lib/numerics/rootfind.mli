@@ -1,0 +1,30 @@
+(** One-dimensional root finding and minimization. *)
+
+exception No_bracket
+(** Raised when the supplied interval does not bracket a root. *)
+
+val bisect :
+  ?tolerance:float -> ?max_iterations:int -> f:(float -> float) ->
+  lo:float -> hi:float -> unit -> float
+(** [bisect ~f ~lo ~hi ()] finds a root of [f] on [\[lo, hi\]] by
+    bisection.  [f lo] and [f hi] must have opposite signs (a zero at
+    an endpoint is returned immediately).
+    @raise No_bracket if the signs agree. *)
+
+val brent :
+  ?tolerance:float -> ?max_iterations:int -> f:(float -> float) ->
+  lo:float -> hi:float -> unit -> float
+(** Brent's method: inverse quadratic interpolation safeguarded by
+    bisection.  Same contract as {!bisect}, faster convergence. *)
+
+val golden_section_min :
+  ?tolerance:float -> ?max_iterations:int -> f:(float -> float) ->
+  lo:float -> hi:float -> unit -> float
+(** [golden_section_min ~f ~lo ~hi ()] returns an abscissa minimizing a
+    unimodal [f] on [\[lo, hi\]] to within [tolerance] (relative). *)
+
+val grid_then_golden :
+  ?points:int -> f:(float -> float) -> lo:float -> hi:float -> unit -> float
+(** Coarse grid scan (log-spaced if [lo > 0]) followed by a golden
+    section refinement around the best grid cell.  Robust when [f] is
+    not globally unimodal, as with expected-waste curves. *)

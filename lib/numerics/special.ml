@@ -1,0 +1,115 @@
+(* Lanczos approximation, g = 7, n = 9 coefficients. *)
+let lanczos_g = 7.
+let lanczos_coefficients =
+  [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+     771.32342877765313; -176.61502916214059; 12.507343278686905;
+     -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7 |]
+
+let rec log_gamma x =
+  if x <= 0. then invalid_arg "Special.log_gamma: argument must be positive";
+  if x < 0.5 then
+    (* Reflection: Gamma(x) Gamma(1-x) = pi / sin(pi x). *)
+    log (Float.pi /. sin (Float.pi *. x)) -. log_gamma (1. -. x)
+  else begin
+    let x = x -. 1. in
+    let acc = ref lanczos_coefficients.(0) in
+    for i = 1 to Array.length lanczos_coefficients - 1 do
+      acc := !acc +. (lanczos_coefficients.(i) /. (x +. float_of_int i))
+    done;
+    let t = x +. lanczos_g +. 0.5 in
+    (0.5 *. log (2. *. Float.pi)) +. ((x +. 0.5) *. log t) -. t +. log !acc
+  end
+
+let gamma x = exp (log_gamma x)
+
+let max_iterations = 500
+let epsilon = 1e-15
+
+(* Series expansion of P(a, x), valid and fast for x < a + 1. *)
+let lower_gamma_series ~a ~x =
+  let sum = ref (1. /. a) in
+  let term = ref (1. /. a) in
+  let n = ref 1 in
+  while abs_float !term > abs_float !sum *. epsilon && !n < max_iterations do
+    term := !term *. x /. (a +. float_of_int !n);
+    sum := !sum +. !term;
+    incr n
+  done;
+  !sum *. exp ((-.x) +. (a *. log x) -. log_gamma a)
+
+(* Continued fraction for Q(a, x) = 1 - P(a, x), for x >= a + 1
+   (modified Lentz algorithm). *)
+let upper_gamma_cf ~a ~x =
+  let tiny = 1e-300 in
+  let b = ref (x +. 1. -. a) in
+  let c = ref (1. /. tiny) in
+  let d = ref (1. /. !b) in
+  let h = ref !d in
+  let n = ref 1 in
+  let continue = ref true in
+  while !continue && !n < max_iterations do
+    let an = -.float_of_int !n *. (float_of_int !n -. a) in
+    b := !b +. 2.;
+    d := (an *. !d) +. !b;
+    if abs_float !d < tiny then d := tiny;
+    c := !b +. (an /. !c);
+    if abs_float !c < tiny then c := tiny;
+    d := 1. /. !d;
+    let delta = !d *. !c in
+    h := !h *. delta;
+    if abs_float (delta -. 1.) < epsilon then continue := false;
+    incr n
+  done;
+  !h *. exp ((-.x) +. (a *. log x) -. log_gamma a)
+
+let lower_incomplete_gamma_regularized ~a ~x =
+  if a <= 0. then invalid_arg "Special.lower_incomplete_gamma_regularized: a <= 0";
+  if x < 0. then invalid_arg "Special.lower_incomplete_gamma_regularized: x < 0";
+  if x = 0. then 0.
+  else if x < a +. 1. then lower_gamma_series ~a ~x
+  else 1. -. upper_gamma_cf ~a ~x
+
+let erf x =
+  if x = 0. then 0.
+  else
+    let v = lower_incomplete_gamma_regularized ~a:0.5 ~x:(x *. x) in
+    if x > 0. then v else -.v
+
+let erfc x = 1. -. erf x
+
+let normal_cdf ~mean ~std x =
+  0.5 *. erfc (-.(x -. mean) /. (std *. sqrt 2.))
+
+(* Acklam's inverse normal CDF approximation. *)
+let acklam p =
+  let a = [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+             1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |] in
+  let b = [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+             6.680131188771972e+01; -1.328068155288572e+01 |] in
+  let c = [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+             -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |] in
+  let d = [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+             3.754408661907416e+00 |] in
+  let p_low = 0.02425 in
+  if p < p_low then
+    let q = sqrt (-2. *. log p) in
+    (((((c.(0) *. q +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5))
+    /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.)
+  else if p <= 1. -. p_low then
+    let q = p -. 0.5 in
+    let r = q *. q in
+    (((((a.(0) *. r +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4)) *. r +. a.(5)) *. q
+    /. (((((b.(0) *. r +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4)) *. r +. 1.)
+  else
+    let q = sqrt (-2. *. log (1. -. p)) in
+    -.((((((c.(0) *. q +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5))
+       /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.))
+
+let normal_quantile p =
+  if p <= 0. || p >= 1. then
+    invalid_arg "Special.normal_quantile: probability must be in (0, 1)";
+  let x = acklam p in
+  (* One Newton polish step using the analytic CDF/PDF. *)
+  let e = normal_cdf ~mean:0. ~std:1. x -. p in
+  let pdf = exp (-0.5 *. x *. x) /. sqrt (2. *. Float.pi) in
+  if pdf > 0. then x -. (e /. pdf) else x

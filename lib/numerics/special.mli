@@ -1,0 +1,31 @@
+(** Special functions used by the probability distributions. *)
+
+val log_gamma : float -> float
+(** [log_gamma x] is [log (Gamma x)] for [x > 0] (Lanczos
+    approximation, ~15 significant digits).
+    @raise Invalid_argument if [x <= 0]. *)
+
+val gamma : float -> float
+(** [gamma x] is the Gamma function for [x > 0]. *)
+
+val lower_incomplete_gamma_regularized : a:float -> x:float -> float
+(** [lower_incomplete_gamma_regularized ~a ~x] is
+    [P(a, x) = gamma(a, x) / Gamma(a)], computed by series for
+    [x < a + 1] and by continued fraction otherwise.  This is the CDF
+    of the Gamma distribution with shape [a] and unit scale.
+    @raise Invalid_argument if [a <= 0] or [x < 0]. *)
+
+val erf : float -> float
+(** Error function, via the regularized incomplete gamma. *)
+
+val erfc : float -> float
+(** Complementary error function. *)
+
+val normal_cdf : mean:float -> std:float -> float -> float
+(** Gaussian cumulative distribution function. *)
+
+val normal_quantile : float -> float
+(** [normal_quantile p] is the standard normal inverse CDF for
+    [0 < p < 1] (Acklam's rational approximation polished by one
+    Newton step; absolute error far below simulation noise).
+    @raise Invalid_argument if [p] is outside [(0, 1)]. *)

@@ -1,0 +1,53 @@
+type t = {
+  count : int;
+  mean : float;
+  m2 : float;  (* sum of squared deviations from the running mean *)
+  min_v : float;
+  max_v : float;
+}
+
+let empty = { count = 0; mean = 0.; m2 = 0.; min_v = infinity; max_v = neg_infinity }
+
+let add t x =
+  let count = t.count + 1 in
+  let delta = x -. t.mean in
+  let mean = t.mean +. (delta /. float_of_int count) in
+  let m2 = t.m2 +. (delta *. (x -. mean)) in
+  { count; mean; m2; min_v = Float.min t.min_v x; max_v = Float.max t.max_v x }
+
+let add_all t xs = List.fold_left add t xs
+let count t = t.count
+let mean t = if t.count = 0 then nan else t.mean
+let variance t = if t.count < 2 then nan else t.m2 /. float_of_int (t.count - 1)
+let std t = sqrt (variance t)
+let min_value t = if t.count = 0 then nan else t.min_v
+let max_value t = if t.count = 0 then nan else t.max_v
+
+let of_array a = Array.fold_left add empty a
+
+let mean_confidence_interval ?(confidence = 0.95) t =
+  if confidence <= 0. || confidence >= 1. then
+    invalid_arg "Summary.mean_confidence_interval: confidence outside (0, 1)";
+  if t.count < 2 then (nan, nan)
+  else begin
+    let z = Special.normal_quantile (0.5 +. (confidence /. 2.)) in
+    let half = z *. std t /. sqrt (float_of_int t.count) in
+    (t.mean -. half, t.mean +. half)
+  end
+
+let quantile data p =
+  let n = Array.length data in
+  if n = 0 then invalid_arg "Summary.quantile: empty data";
+  if p < 0. || p > 1. then invalid_arg "Summary.quantile: p outside [0, 1]";
+  let sorted = Array.copy data in
+  Array.sort compare sorted;
+  if n = 1 then sorted.(0)
+  else begin
+    let h = p *. float_of_int (n - 1) in
+    let i = int_of_float (floor h) in
+    let i = if i >= n - 1 then n - 2 else i in
+    let frac = h -. float_of_int i in
+    sorted.(i) +. (frac *. (sorted.(i + 1) -. sorted.(i)))
+  end
+
+let median data = quantile data 0.5

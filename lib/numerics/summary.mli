@@ -1,0 +1,38 @@
+(** Online and batch summary statistics (Section 4.1 reports averages
+    and standard deviations of makespan degradations). *)
+
+type t
+(** Online accumulator (Welford's algorithm): numerically stable mean
+    and variance in one pass. *)
+
+val empty : t
+val add : t -> float -> t
+val add_all : t -> float list -> t
+val count : t -> int
+val mean : t -> float
+(** Mean of the observations; [nan] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [nan] with fewer than two observations. *)
+
+val std : t -> float
+val min_value : t -> float
+val max_value : t -> float
+
+val of_array : float array -> t
+
+val mean_confidence_interval : ?confidence:float -> t -> float * float
+(** [(lo, hi)] for the mean at the given [confidence] (default 0.95),
+    using the normal approximation [mean ± z * std / sqrt n] —
+    adequate for the sample sizes of the evaluation methodology
+    (tens to hundreds of traces).  [(nan, nan)] with fewer than two
+    observations.
+    @raise Invalid_argument if [confidence] is outside (0, 1). *)
+
+val quantile : float array -> float -> float
+(** [quantile data p] is the [p]-quantile ([0 <= p <= 1]) with linear
+    interpolation between order statistics.  [data] need not be sorted;
+    it is not modified.
+    @raise Invalid_argument on empty data or [p] outside [0, 1]. *)
+
+val median : float array -> float

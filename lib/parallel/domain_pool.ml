@@ -1,0 +1,41 @@
+let recommended_domains () =
+  match Sys.getenv_opt "CKPT_DOMAINS" with
+  | Some s -> begin
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> Domain.recommended_domain_count ()
+    end
+  | None -> Domain.recommended_domain_count ()
+
+let parallel_init ?domains n f =
+  if n < 0 then invalid_arg "Domain_pool.parallel_init: negative size";
+  let domains = match domains with Some d -> d | None -> recommended_domains () in
+  if domains <= 1 || n <= 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    let first_error = Atomic.make None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else begin
+          match f i with
+          | v -> results.(i) <- Some v
+          | exception e ->
+              (* Remember one failure; let the other workers drain. *)
+              ignore (Atomic.compare_and_set first_error None (Some e))
+        end
+      done
+    in
+    let spawned = List.init (min domains n - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    (match Atomic.get first_error with Some e -> raise e | None -> ());
+    Array.map Option.get results
+  end
+
+let parallel_map_list ?domains f items =
+  let arr = Array.of_list items in
+  Array.to_list (parallel_init ?domains (Array.length arr) (fun i -> f arr.(i)))

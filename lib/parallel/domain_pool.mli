@@ -1,0 +1,28 @@
+(** Multicore fan-out for the experiment sweeps.
+
+    Every study in this repository is a sweep of independent
+    evaluations (points of a figure, cells of a grid, candidate
+    periods); on a multicore machine they parallelize trivially with
+    OCaml 5 domains.  This module provides a deterministic
+    [parallel_init]: work items are claimed from an atomic counter,
+    each output slot is written by exactly one domain, and joining the
+    domains publishes all writes, so results are identical to the
+    sequential run regardless of scheduling.
+
+    Tasks must not share mutable state (the simulator's runs don't:
+    each builds its own policies, traces and engine state). *)
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count ()], overridden by the
+    [CKPT_DOMAINS] environment variable when set. *)
+
+val parallel_init : ?domains:int -> int -> (int -> 'a) -> 'a array
+(** [parallel_init ~domains n f] is [Array.init n f] evaluated by up
+    to [domains] domains (default {!recommended_domains}).  Falls back
+    to plain [Array.init] when [domains <= 1] or [n <= 1].  If any
+    task raises, one of the raised exceptions is re-raised after all
+    domains have joined.
+    @raise Invalid_argument if [n < 0]. *)
+
+val parallel_map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** List version of {!parallel_init}, preserving order. *)

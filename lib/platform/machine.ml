@@ -1,0 +1,27 @@
+type t = {
+  total_processors : int;
+  downtime : float;
+  overhead : Overhead.t;
+}
+
+let create ~total_processors ~downtime ~overhead =
+  if total_processors <= 0 then invalid_arg "Machine.create: total_processors must be positive";
+  if downtime < 0. then invalid_arg "Machine.create: negative downtime";
+  { total_processors; downtime; overhead }
+
+let check_processors t processors =
+  if processors <= 0 || processors > t.total_processors then
+    invalid_arg
+      (Printf.sprintf "Machine: %d processors outside [1, %d]" processors t.total_processors)
+
+let checkpoint_cost t ~processors =
+  check_processors t processors;
+  Overhead.checkpoint_cost t.overhead ~processors
+
+let recovery_cost t ~processors =
+  check_processors t processors;
+  Overhead.recovery_cost t.overhead ~processors
+
+let pp fmt t =
+  Format.fprintf fmt "machine(p_total=%d, D=%g s, %a)" t.total_processors t.downtime Overhead.pp
+    t.overhead

@@ -1,0 +1,23 @@
+(** A failure-prone platform: processor count, downtime, and the
+    checkpoint/recovery overhead model.  A "processor" is any
+    individually scheduled compute resource (core, node, ...), as in
+    Section 2.1. *)
+
+type t = {
+  total_processors : int;  (** [p_total], the whole machine. *)
+  downtime : float;  (** [D], seconds; independent of [p]. *)
+  overhead : Overhead.t;
+}
+
+val create : total_processors:int -> downtime:float -> overhead:Overhead.t -> t
+(** @raise Invalid_argument on non-positive processor count or
+    negative downtime. *)
+
+val checkpoint_cost : t -> processors:int -> float
+(** [C(p)] for a job enrolling [processors <= total_processors].
+    @raise Invalid_argument if outside [\[1, total_processors\]]. *)
+
+val recovery_cost : t -> processors:int -> float
+(** [R(p)]; the paper takes [R(p) = C(p)]. *)
+
+val pp : Format.formatter -> t -> unit

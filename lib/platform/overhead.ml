@@ -1,0 +1,27 @@
+type t =
+  | Constant of float
+  | Proportional of { cost_at : float; reference_processors : int }
+
+let constant c =
+  if c < 0. then invalid_arg "Overhead.constant: negative cost";
+  Constant c
+
+let proportional ~cost_at ~reference_processors =
+  if cost_at < 0. then invalid_arg "Overhead.proportional: negative cost";
+  if reference_processors <= 0 then
+    invalid_arg "Overhead.proportional: reference_processors must be positive";
+  Proportional { cost_at; reference_processors }
+
+let checkpoint_cost t ~processors =
+  if processors <= 0 then invalid_arg "Overhead.checkpoint_cost: processors must be positive";
+  match t with
+  | Constant c -> c
+  | Proportional { cost_at; reference_processors } ->
+      cost_at *. float_of_int reference_processors /. float_of_int processors
+
+let recovery_cost = checkpoint_cost
+
+let pp fmt = function
+  | Constant c -> Format.fprintf fmt "constant C=%g s" c
+  | Proportional { cost_at; reference_processors } ->
+      Format.fprintf fmt "proportional C(p)=%g*%d/p s" cost_at reference_processors

@@ -1,0 +1,28 @@
+(** Checkpoint / recovery overhead models (Section 3.1).
+
+    With an application memory footprint of [V] bytes spread over [p]
+    processors:
+    - {e proportional}: [C(p) = R(p) = alpha V / p] — each processor's
+      outgoing link is the I/O bottleneck;
+    - {e constant}: [C(p) = R(p) = alpha V] — the resilient storage
+      system's incoming bandwidth is the bottleneck.
+
+    The paper instantiates these as [600 s] (constant) and
+    [600 * p_total / p] seconds (proportional, normalized so the
+    full-platform cost is 600 s). *)
+
+type t =
+  | Constant of float  (** [Constant c]: [C(p) = c] for every [p]. *)
+  | Proportional of { cost_at : float; reference_processors : int }
+      (** [C(p) = cost_at * reference_processors / p]. *)
+
+val checkpoint_cost : t -> processors:int -> float
+(** [checkpoint_cost t ~processors] is [C(p)].
+    @raise Invalid_argument if [processors <= 0]. *)
+
+val recovery_cost : t -> processors:int -> float
+(** The paper takes [R(p) = C(p)] throughout. *)
+
+val constant : float -> t
+val proportional : cost_at:float -> reference_processors:int -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+type t = {
+  label : string;
+  machine : Machine.t;
+  total_work : float;
+  processor_mtbf : float;
+  job_processor_counts : int list;
+}
+
+let jaguar_processors = 45208
+let paper_checkpoint_seconds = 600.
+let paper_downtime_seconds = 60.
+
+let overhead_for ~proportional ~total_processors =
+  if proportional then
+    Overhead.proportional ~cost_at:paper_checkpoint_seconds ~reference_processors:total_processors
+  else Overhead.constant paper_checkpoint_seconds
+
+let one_processor ~mtbf =
+  {
+    label = "1-proc";
+    machine =
+      Machine.create ~total_processors:1 ~downtime:paper_downtime_seconds
+        ~overhead:(Overhead.constant paper_checkpoint_seconds);
+    total_work = Units.of_days 20.;
+    processor_mtbf = mtbf;
+    job_processor_counts = [ 1 ];
+  }
+
+let powers_of_two lo hi =
+  let rec go e acc = if e > hi then List.rev acc else go (e + 1) ((1 lsl e) :: acc) in
+  go lo []
+
+let petascale ?(proportional_overhead = false) ?(mtbf = Units.of_years 125.) () =
+  let total_processors = jaguar_processors in
+  {
+    label = "petascale";
+    machine =
+      Machine.create ~total_processors ~downtime:paper_downtime_seconds
+        ~overhead:(overhead_for ~proportional:proportional_overhead ~total_processors);
+    total_work = Units.of_years 1000.;
+    processor_mtbf = mtbf;
+    job_processor_counts = powers_of_two 10 15 @ [ total_processors ];
+  }
+
+let exascale ?(proportional_overhead = false) ?(mtbf = Units.of_years 1250.) () =
+  let total_processors = 1 lsl 20 in
+  {
+    label = "exascale";
+    machine =
+      Machine.create ~total_processors ~downtime:paper_downtime_seconds
+        ~overhead:(overhead_for ~proportional:proportional_overhead ~total_processors);
+    total_work = Units.of_years 10000.;
+    processor_mtbf = mtbf;
+    job_processor_counts = powers_of_two 14 20;
+  }

@@ -1,0 +1,33 @@
+(** Table 1 of the paper: the three simulated platform classes.
+
+    {v
+    platform  p_total  D     C,R    processor MTBF  W
+    1-proc    1        60 s  600 s  1 h, 1 d, 1 w   20 d
+    Peta      45,208   60 s  600 s  125 y, 500 y    1,000 y
+    Exa       2^20     60 s  600 s  1,250 y         10,000 y
+    v}
+
+    Checkpoint costs: 600 s constant, or [600 * p_total / p]
+    proportional. *)
+
+type t = {
+  label : string;
+  machine : Machine.t;
+  total_work : float;  (** [W], seconds of sequential work. *)
+  processor_mtbf : float;  (** default MTBF, seconds. *)
+  job_processor_counts : int list;
+      (** the processor counts swept in the paper's figures. *)
+}
+
+val jaguar_processors : int
+(** 45,208 — the Jaguar reference machine. *)
+
+val one_processor : mtbf:float -> t
+(** The single-processor platform of Section 5.1; [mtbf] is one of
+    1 h / 1 d / 1 w in the paper. *)
+
+val petascale : ?proportional_overhead:bool -> ?mtbf:float -> unit -> t
+(** Jaguar-like platform; [mtbf] defaults to 125 years. *)
+
+val exascale : ?proportional_overhead:bool -> ?mtbf:float -> unit -> t
+(** 2^20-processor platform; [mtbf] defaults to 1,250 years. *)

@@ -1,0 +1,45 @@
+type model =
+  | Embarrassingly_parallel
+  | Amdahl of float
+  | Numerical_kernel of float
+
+type t = { total_work : float; model : model }
+
+let create ~total_work ~model =
+  if total_work <= 0. then invalid_arg "Workload.create: total_work must be positive";
+  (match model with
+  | Embarrassingly_parallel -> ()
+  | Amdahl gamma ->
+      if gamma < 0. || gamma >= 1. then invalid_arg "Workload.create: Amdahl gamma outside [0, 1)"
+  | Numerical_kernel gamma ->
+      if gamma < 0. then invalid_arg "Workload.create: negative kernel gamma");
+  { total_work; model }
+
+let parallel_time t ~processors =
+  if processors <= 0 then invalid_arg "Workload.parallel_time: processors must be positive";
+  let p = float_of_int processors in
+  let w = t.total_work in
+  match t.model with
+  | Embarrassingly_parallel -> w /. p
+  | Amdahl gamma -> (w /. p) +. (gamma *. w)
+  | Numerical_kernel gamma -> (w /. p) +. (gamma *. (w ** (2. /. 3.)) /. sqrt p)
+
+let speedup t ~processors = t.total_work /. parallel_time t ~processors
+
+let model_name = function
+  | Embarrassingly_parallel -> "embarrassingly-parallel"
+  | Amdahl gamma -> Printf.sprintf "amdahl(gamma=%g)" gamma
+  | Numerical_kernel gamma -> Printf.sprintf "kernel(gamma=%g)" gamma
+
+let pp fmt t =
+  Format.fprintf fmt "W=%g s, %s" t.total_work (model_name t.model)
+
+let all_paper_models () =
+  [
+    Embarrassingly_parallel;
+    Amdahl 1e-4;
+    Amdahl 1e-6;
+    Numerical_kernel 0.1;
+    Numerical_kernel 1.;
+    Numerical_kernel 10.;
+  ]

@@ -1,0 +1,37 @@
+(** Parallel work models (Section 3.1).
+
+    [W] is the total sequential work (in seconds on one unit-speed
+    processor); [W(p)] is the failure-free execution time on [p]
+    processors:
+
+    - embarrassingly parallel: [W(p) = W/p];
+    - Amdahl: [W(p) = W/p + gamma * W], [gamma] the sequential
+      fraction;
+    - numerical kernels: [W(p) = W/p + gamma * W^(2/3) / sqrt p]
+      (matrix product / LU / QR on a 2-D grid, [gamma] the
+      communication-to-computation ratio). *)
+
+type model =
+  | Embarrassingly_parallel
+  | Amdahl of float  (** sequential fraction [gamma < 1] *)
+  | Numerical_kernel of float  (** communication/computation ratio [gamma] *)
+
+type t = { total_work : float; model : model }
+
+val create : total_work:float -> model:model -> t
+(** @raise Invalid_argument on non-positive work or negative/illegal
+    [gamma]. *)
+
+val parallel_time : t -> processors:int -> float
+(** [parallel_time t ~processors] is [W(p)].
+    @raise Invalid_argument if [processors <= 0]. *)
+
+val speedup : t -> processors:int -> float
+(** [W / W(p)]. *)
+
+val model_name : model -> string
+val pp : Format.formatter -> t -> unit
+
+val all_paper_models : unit -> model list
+(** The six instantiations simulated in Section 5.2: EP, Amdahl with
+    [gamma] in {1e-4, 1e-6}, kernel with [gamma] in {0.1, 1, 10}. *)

@@ -1,0 +1,30 @@
+module Distribution = Ckpt_distributions.Distribution
+module Rootfind = Ckpt_numerics.Rootfind
+
+let expected_time_for_period job dist ~period =
+  let c = Job.checkpoint_cost job in
+  let r = Job.recovery_cost job in
+  let d = Job.downtime job in
+  let duration = period +. c in
+  let p = Distribution.conditional_survival dist ~age:0. ~duration in
+  if p <= 0. then infinity
+  else begin
+    let lost = Distribution.expected_tlost dist ~age:0. ~window:duration in
+    (* E = p (T+C) + (1-p) (lost + D + R + E)  =>  solve for E. *)
+    ((p *. duration) +. ((1. -. p) *. (lost +. d +. r))) /. p
+  end
+
+let expected_waste_ratio job ~period =
+  if period <= 0. then invalid_arg "Bouguerra.expected_waste_ratio: period must be positive";
+  let dist = Job.platform_dist job in
+  expected_time_for_period job dist ~period /. period
+
+let period job =
+  let dist = Job.platform_dist job in
+  let f t = expected_time_for_period job dist ~period:t /. t in
+  let lo = Float.max 1. (Job.checkpoint_cost job /. 100.) in
+  let hi = job.Job.work_time in
+  if hi <= lo then hi
+  else Rootfind.grid_then_golden ~points:128 ~f ~lo ~hi ()
+
+let policy job = Policy.periodic "Bouguerra" ~period:(period job)

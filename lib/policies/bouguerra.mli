@@ -1,0 +1,22 @@
+(** Bouguerra et al.'s periodic policy (PPAM 2010; Section 4.1).
+
+    Optimal period under the (unstated in their paper, surfaced by
+    this one) assumption that {e all} processors are rejuvenated after
+    each failure and each checkpoint, so every period faces a fresh
+    platform-level distribution.  We compute the period by minimizing
+    the expected waste ratio
+
+    [E(period cost) / period], with
+    [E = (Psuc (T+C) (T+C) + (1 - Psuc) (E(Tlost) + D + R + E))]
+
+    over the fresh platform distribution [min_of_iid dist p].  For
+    Exponential failures this coincides with OptExp's period (their
+    paper's claim, verified by our tests); for Weibull [k < 1] the
+    rejuvenation assumption is what makes the policy perform poorly
+    under failed-only simulation, as the paper reports. *)
+
+val period : Job.t -> float
+val expected_waste_ratio : Job.t -> period:float -> float
+(** The objective minimized by {!period}, exposed for tests. *)
+
+val policy : Job.t -> Policy.t

@@ -1,0 +1,16 @@
+let low_order_period job =
+  let c = Job.checkpoint_cost job in
+  let m = Job.platform_mtbf job +. Job.downtime job +. Job.recovery_cost job in
+  sqrt (2. *. c *. m)
+
+let high_order_period job =
+  let c = Job.checkpoint_cost job in
+  let m = Job.platform_mtbf job in
+  if c >= 2. *. m then m
+  else begin
+    let r = c /. (2. *. m) in
+    (sqrt (2. *. c *. m) *. (1. +. (sqrt r /. 3.) +. (r /. 9.))) -. c
+  end
+
+let low job = Policy.periodic "DalyLow" ~period:(low_order_period job)
+let high job = Policy.periodic "DalyHigh" ~period:(high_order_period job)

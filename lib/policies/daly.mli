@@ -1,0 +1,13 @@
+(** Daly's periodic policies (Daly, FGCS 2006; Section 4.1).
+
+    - {e DalyLow}: the first-order estimate, Young's period with the
+      recovery overheads folded into the mean time to interrupt:
+      [sqrt (2 C (MTBF/p + D + R))].
+    - {e DalyHigh}: the higher-order estimate,
+      [sqrt (2 C M) (1 + sqrt(C/(2M))/3 + C/(18 M)) - C] for
+      [C < 2M], and [M] otherwise, with [M = MTBF/p]. *)
+
+val low_order_period : Job.t -> float
+val high_order_period : Job.t -> float
+val low : Job.t -> Policy.t
+val high : Job.t -> Policy.t

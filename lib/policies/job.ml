@@ -1,0 +1,40 @@
+module Distribution = Ckpt_distributions.Distribution
+module Machine = Ckpt_platform.Machine
+module Workload = Ckpt_platform.Workload
+module Dp_context = Ckpt_core.Dp_context
+
+type t = {
+  dist : Distribution.t;
+  processors : int;
+  group_size : int;
+  machine : Machine.t;
+  work_time : float;
+}
+
+let create ~dist ~processors ~machine ~work_time =
+  if work_time <= 0. then invalid_arg "Job.create: work_time must be positive";
+  (* Machine.checkpoint_cost validates the processor count. *)
+  ignore (Machine.checkpoint_cost machine ~processors);
+  { dist; processors; group_size = 1; machine; work_time }
+
+let with_group_size t group_size =
+  if group_size <= 0 then invalid_arg "Job.with_group_size: group_size must be positive";
+  if t.processors mod group_size <> 0 then
+    invalid_arg "Job.with_group_size: group_size must divide the processor count";
+  { t with group_size }
+
+let of_workload ~dist ~processors ~machine ~workload =
+  create ~dist ~processors ~machine ~work_time:(Workload.parallel_time workload ~processors)
+
+let failure_units t = t.processors / t.group_size
+let checkpoint_cost t = Machine.checkpoint_cost t.machine ~processors:t.processors
+let recovery_cost t = Machine.recovery_cost t.machine ~processors:t.processors
+let downtime t = t.machine.Machine.downtime
+let unit_mtbf t = t.dist.Distribution.mean
+let platform_mtbf t = unit_mtbf t /. float_of_int (failure_units t)
+let platform_dist t = Distribution.min_of_iid t.dist (failure_units t)
+
+let dp_context t ~platform_view =
+  Dp_context.create
+    ~dist:(if platform_view then platform_dist t else t.dist)
+    ~checkpoint:(checkpoint_cost t) ~recovery:(recovery_cost t) ~downtime:(downtime t)

@@ -1,0 +1,70 @@
+(** Everything a policy constructor needs to know about the job and
+    its platform. *)
+
+type t = {
+  dist : Ckpt_distributions.Distribution.t;
+      (** failure inter-arrival distribution of one {e failure unit}
+          (a processor, or a whole node when failures take down
+          [group_size] processors together, as in the LANL logs). *)
+  processors : int;  (** processors enrolled by the job. *)
+  group_size : int;
+      (** processors per failure unit; 1 unless failures are
+          node-grained. *)
+  machine : Ckpt_platform.Machine.t;
+  work_time : float;  (** [W(p)], seconds of parallel work. *)
+}
+
+val create :
+  dist:Ckpt_distributions.Distribution.t ->
+  processors:int ->
+  machine:Ckpt_platform.Machine.t ->
+  work_time:float ->
+  t
+(** A job whose failure units are single processors ([group_size] 1).
+    @raise Invalid_argument on non-positive work or a processor count
+    outside the machine. *)
+
+val with_group_size : t -> int -> t
+(** [with_group_size t k] makes failures node-grained: units of [k]
+    processors fail together.
+    @raise Invalid_argument if [k] does not divide the processor
+    count. *)
+
+val of_workload :
+  dist:Ckpt_distributions.Distribution.t ->
+  processors:int ->
+  machine:Ckpt_platform.Machine.t ->
+  workload:Ckpt_platform.Workload.t ->
+  t
+(** Derives [work_time] from the workload's parallelism model. *)
+
+val failure_units : t -> int
+(** [processors / group_size]: independent failure sources. *)
+
+val checkpoint_cost : t -> float
+(** [C(p)]. *)
+
+val recovery_cost : t -> float
+(** [R(p)]. *)
+
+val downtime : t -> float
+
+val unit_mtbf : t -> float
+(** [mu], the mean of the per-unit distribution. *)
+
+val platform_mtbf : t -> float
+(** [mu / failure_units], the paper's platform mean time between
+    failures under failed-only rejuvenation (downtime excluded, as in
+    the heuristics' period formulas). *)
+
+val platform_dist : t -> Ckpt_distributions.Distribution.t
+(** Distribution of the first failure of a {e fresh} platform
+    ([min_of_iid dist failure_units]) — the rejuvenate-all view used
+    by DPMakespan and Bouguerra. *)
+
+val dp_context : t -> platform_view:bool -> Ckpt_core.Dp_context.t
+(** The DP setting: overheads at [p] processors and either the
+    per-unit distribution ([platform_view = false]; for
+    DPNextFailure, which models ages explicitly) or the aggregated
+    fresh-platform distribution ([platform_view = true]; for
+    DPMakespan's rejuvenate-all assumption). *)

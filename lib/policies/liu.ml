@@ -1,0 +1,90 @@
+module Distribution = Ckpt_distributions.Distribution
+module Quadrature = Ckpt_numerics.Quadrature
+
+type table = {
+  ts : float array;  (* abscissae, increasing, ts.(0) > 0 *)
+  ns : float array;  (* accumulated frequency N(ts.(i)) *)
+  density : float -> float;  (* n(t) = sqrt(units h(t) / 2C) *)
+}
+
+let build job =
+  let c = Float.max 1e-9 (Job.checkpoint_cost job) in
+  let units = float_of_int (Job.failure_units job) in
+  let density t = sqrt (units *. Distribution.hazard job.Job.dist t /. (2. *. c)) in
+  (* Logarithmic grid from well below any interesting interval up to
+     multiple trace horizons, so any queried age interpolates. *)
+  let t_min = 1e-2 in
+  let t_max = Float.max (200. *. job.Job.dist.Distribution.mean) 7e8 in
+  let points = 768 in
+  let ts =
+    Array.init points (fun i ->
+        t_min *. exp (float_of_int i /. float_of_int (points - 1) *. log (t_max /. t_min)))
+  in
+  let ns = Array.make points 0. in
+  (* The density may blow up at 0 (Weibull k < 1) but stays integrable;
+     the head panel [0, t_min] uses a geometric refinement toward 0. *)
+  let head = ref 0. in
+  let lo = ref (t_min /. 1024.) in
+  while !lo > 1e-12 do
+    lo := !lo /. 2.
+  done;
+  let a = ref !lo in
+  while !a < t_min do
+    let b = Float.min t_min (!a *. 2.) in
+    head := !head +. Quadrature.gauss_legendre_32 ~f:density ~lo:!a ~hi:b;
+    a := b
+  done;
+  ns.(0) <- !head;
+  for i = 1 to points - 1 do
+    ns.(i) <- ns.(i - 1) +. Quadrature.gauss_legendre_32 ~f:density ~lo:ts.(i - 1) ~hi:ts.(i)
+  done;
+  { ts; ns; density }
+
+(* Piecewise-linear evaluation of N, extended by the local density
+   beyond the grid ends. *)
+let accumulated table t =
+  let { ts; ns; density } = table in
+  let last = Array.length ts - 1 in
+  if t <= ts.(0) then ns.(0) *. (t /. ts.(0))
+  else if t >= ts.(last) then ns.(last) +. ((t -. ts.(last)) *. density ts.(last))
+  else begin
+    (* Invariant: ts.(lo) <= t < ts.(hi). *)
+    let lo = ref 0 and hi = ref last in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if ts.(mid) <= t then lo := mid else hi := mid
+    done;
+    let frac = (t -. ts.(!lo)) /. (ts.(!hi) -. ts.(!lo)) in
+    ns.(!lo) +. (frac *. (ns.(!hi) -. ns.(!lo)))
+  end
+
+(* Smallest t with N(t) >= target. *)
+let inverse table target =
+  let { ts; ns; density } = table in
+  let last = Array.length ts - 1 in
+  if target <= ns.(0) then ts.(0) *. target /. ns.(0)
+  else if target >= ns.(last) then ts.(last) +. ((target -. ns.(last)) /. density ts.(last))
+  else begin
+    (* Invariant: ns.(lo) < target <= ns.(hi). *)
+    let lo = ref 0 and hi = ref last in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if ns.(mid) < target then lo := mid else hi := mid
+    done;
+    let frac = (target -. ns.(!lo)) /. (ns.(!hi) -. ns.(!lo)) in
+    ts.(!lo) +. (frac *. (ts.(!hi) -. ts.(!lo)))
+  end
+
+let interval _job table ~platform_age =
+  let age = Float.max 0. platform_age in
+  let next = inverse table (accumulated table age +. 1.) in
+  Float.max 0. (next -. age)
+
+let policy job =
+  let table = build job in
+  Policy.stateless "Liu" (fun obs ->
+      let t = interval job table ~platform_age:obs.Policy.min_age in
+      (* An interval shorter than the checkpoint itself is nonsensical:
+         decline, as the paper does for [17]'s output. *)
+      if t < Job.checkpoint_cost job || t <= 0. then None
+      else Some (Float.min t obs.Policy.remaining))

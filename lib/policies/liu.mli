@@ -1,0 +1,37 @@
+(** The Liu et al. non-periodic policy (IPDPS 2008; Section 4.1).
+
+    Liu et al. place checkpoints through an optimal
+    checkpointing-frequency function; in the variational-calculus form
+    (Ling-Mi-Lin) the optimal frequency density is
+    [n(t) = sqrt (h(t) / (2 C))] with [h] the hazard rate, and the
+    [j]-th checkpoint lands where the accumulated frequency
+    [N(t) = integral of n] reaches [j].  Because [n] is integrable at
+    0 even for Weibull shapes [k < 1], the first interval after a
+    failure is finite — but it shrinks with the platform hazard, and
+    once it falls below the checkpoint cost itself the prescription is
+    nonsensical: the policy answers [None] and the evaluation reports
+    the cell as absent.  That happens exactly where the paper reports
+    Liu "fails to compute meaningful checkpoint dates": small shapes
+    and/or very large platforms.
+
+    Following the paper's platform-level reading, [t] is the time
+    since the last {e platform} failure and the hazard is the
+    fresh-platform one ([units] times the per-unit hazard at [t]).
+
+    The reference formula in Liu et al. is partly ambiguous — the
+    paper itself "speculate[s] that there may be an error in [17]" —
+    so this is a faithful-in-spirit reconstruction; see DESIGN.md. *)
+
+type table
+(** Precomputed accumulated-frequency table [N] for one job (built by
+    quadrature on a logarithmic grid; queried by interpolation). *)
+
+val build : Job.t -> table
+
+val interval : Job.t -> table -> platform_age:float -> float
+(** The next inter-checkpoint interval at [platform_age] seconds since
+    the last platform failure: [N^-1 (N(age) + 1) - age]. *)
+
+val policy : Job.t -> Policy.t
+(** Declines (returns [None]) whenever the prescribed interval is
+    shorter than the checkpoint cost. *)

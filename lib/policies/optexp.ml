@@ -1,0 +1,11 @@
+module Theory = Ckpt_core.Theory
+
+let chunk_count job =
+  Theory.parallel_optimal_chunk_count
+    ~rate:(1. /. Job.unit_mtbf job)
+    ~processors:(Job.failure_units job) ~parallel_work:job.Job.work_time
+    ~checkpoint:(Job.checkpoint_cost job)
+
+let period job = job.Job.work_time /. float_of_int (chunk_count job)
+
+let policy job = Policy.periodic "OptExp" ~period:(period job)

@@ -1,0 +1,11 @@
+(** OptExp: the provably optimal periodic policy for Exponential
+    failures (Theorem 1 / Proposition 5), applied — as in the paper —
+    to any distribution by using only its MTBF. *)
+
+val chunk_count : Job.t -> int
+(** [K*] of Proposition 5 for this job. *)
+
+val period : Job.t -> float
+(** [W(p) / K*]. *)
+
+val policy : Job.t -> Policy.t

@@ -1,0 +1,21 @@
+type phase = Start | After_checkpoint | After_recovery
+
+type observation = {
+  phase : phase;
+  remaining : float;
+  failure_units : int;
+  min_age : float;
+  iter_ages : (float -> unit) -> unit;
+}
+
+type instance = observation -> float option
+
+type t = { name : string; instantiate : unit -> instance }
+
+let stateless name f = { name; instantiate = (fun () -> f) }
+
+let clamp_chunk ~remaining chunk = Float.max 0. (Float.min remaining chunk)
+
+let periodic name ~period =
+  stateless name (fun obs ->
+      if period <= 0. then None else Some (Float.min period obs.remaining))

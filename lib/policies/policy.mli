@@ -1,0 +1,47 @@
+(** The checkpointing-policy interface.
+
+    A policy is consulted at every decision point of an execution —
+    job start, after each committed checkpoint, after each completed
+    recovery (Section 2.2's function [f(omega | tau)]) — and answers
+    with the size of the next chunk of work to execute before
+    checkpointing again.
+
+    Policies may be stateful across one execution (the DP policies
+    follow a precomputed plan); [instantiate] produces a fresh,
+    unentangled decision function per simulated execution. *)
+
+type phase =
+  | Start  (** first decision of the execution *)
+  | After_checkpoint  (** previous chunk committed successfully *)
+  | After_recovery  (** a failure struck; recovery just completed *)
+
+type observation = {
+  phase : phase;
+  remaining : float;  (** work (seconds of [W(p)]) not yet checkpointed *)
+  failure_units : int;
+      (** independent failure sources (processors, or nodes when
+          failures are node-grained). *)
+  min_age : float;
+      (** time since the last platform-level failure; before any
+          failure, the smallest initial unit age. *)
+  iter_ages : (float -> unit) -> unit;
+      (** iterate over every failure unit's time-since-last-failure;
+          O(units), so policies should call it sparingly. *)
+}
+
+type instance = observation -> float option
+(** Returns the next chunk size in seconds, in (0, remaining]
+    (callers clamp), or [None] when the policy cannot produce a
+    meaningful chunk (the paper's Liu heuristic on small intervals). *)
+
+type t = { name : string; instantiate : unit -> instance }
+
+val stateless : string -> (observation -> float option) -> t
+(** A policy whose decisions are a pure function of the observation. *)
+
+val periodic : string -> period:float -> t
+(** Checkpoint every [period] seconds of work: chunks of
+    [min period remaining].  [None] if [period <= 0]. *)
+
+val clamp_chunk : remaining:float -> float -> float
+(** Clamp a proposed chunk into (0, remaining]. *)

@@ -1,0 +1,65 @@
+module Units = Ckpt_platform.Units
+
+type entry = {
+  start : float;
+  chunk : float;
+  checkpoint_at : float;
+}
+
+let failure_free ?initial_ages ?(max_entries = 100_000) policy job =
+  let units = Job.failure_units job in
+  let ages =
+    match initial_ages with
+    | Some a ->
+        if Array.length a <> units then
+          invalid_arg "Schedule.failure_free: initial_ages size mismatch";
+        Array.copy a
+    | None -> Array.make units (Units.of_years 1.)
+  in
+  let c = Job.checkpoint_cost job in
+  let instance = policy.Policy.instantiate () in
+  let remaining = ref job.Job.work_time in
+  let now = ref 0. in
+  let phase = ref Policy.Start in
+  let entries = ref [] in
+  let continue = ref true in
+  while !continue && !remaining > 1e-6 && List.length !entries < max_entries do
+    let obs =
+      {
+        Policy.phase = !phase;
+        remaining = !remaining;
+        failure_units = units;
+        min_age = Array.fold_left Float.min infinity ages;
+        iter_ages = (fun f -> Array.iter f ages);
+      }
+    in
+    match instance obs with
+    | None ->
+        entries := [];
+        continue := false
+    | Some chunk ->
+        let chunk = Policy.clamp_chunk ~remaining:!remaining chunk in
+        let chunk = if chunk < 1e-6 then !remaining else chunk in
+        entries := { start = !now; chunk; checkpoint_at = !now +. chunk } :: !entries;
+        now := !now +. chunk +. c;
+        remaining := !remaining -. chunk;
+        Array.iteri (fun i a -> ages.(i) <- a +. chunk +. c) ages;
+        phase := Policy.After_checkpoint
+  done;
+  List.rev !entries
+
+let to_csv entries =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "start,chunk,checkpoint_at\n";
+  List.iter
+    (fun e -> Buffer.add_string buf (Printf.sprintf "%g,%g,%g\n" e.start e.chunk e.checkpoint_at))
+    entries;
+  Buffer.contents buf
+
+let interval_range = function
+  | [] -> None
+  | entries ->
+      Some
+        (List.fold_left
+           (fun (lo, hi) e -> (Float.min lo e.chunk, Float.max hi e.chunk))
+           (infinity, neg_infinity) entries)

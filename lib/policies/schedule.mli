@@ -1,0 +1,31 @@
+(** The failure-free checkpoint timetable of a policy.
+
+    Operators planning a run want the prescribed checkpoint dates, not
+    just the abstract policy; this unrolls a policy's decisions under
+    the assumption that no failure strikes (every chunk commits), the
+    same idealization under which the paper reports DPNextFailure's
+    2,984-6,108 s interval range. *)
+
+type entry = {
+  start : float;  (** seconds after job start when the chunk begins *)
+  chunk : float;  (** work seconds before the next checkpoint *)
+  checkpoint_at : float;  (** [start + chunk]: the checkpoint date *)
+}
+
+val failure_free :
+  ?initial_ages:float array ->
+  ?max_entries:int ->
+  Policy.t ->
+  Job.t ->
+  entry list
+(** [failure_free policy job] unrolls the timetable until the work is
+    exhausted (or [max_entries], default 100,000, as a guard).
+    [initial_ages] are the per-unit times since last failure at job
+    start (default: every unit fresh at one year of age, the paper's
+    steady-state start).  Returns [\[\]] if the policy declines. *)
+
+val to_csv : entry list -> string
+(** Header [start,chunk,checkpoint_at], one row per entry. *)
+
+val interval_range : entry list -> (float * float) option
+(** Smallest and largest chunk of the timetable. *)

@@ -1,0 +1,3 @@
+let period job = sqrt (2. *. Job.checkpoint_cost job *. Job.platform_mtbf job)
+
+let policy job = Policy.periodic "Young" ~period:(period job)

@@ -1,0 +1,5 @@
+(** Young's first-order periodic policy (Young, CACM 1974):
+    checkpoint every [sqrt (2 C(p) MTBF/p)] seconds (Section 4.1). *)
+
+val period : Job.t -> float
+val policy : Job.t -> Policy.t

@@ -1,0 +1,47 @@
+type t = {
+  gen : Xoshiro256.t;
+  seed : int64;
+  (* Cached second deviate of the Marsaglia polar method. *)
+  mutable spare_normal : float option;
+}
+
+let create ~seed = { gen = Xoshiro256.create seed; seed; spare_normal = None }
+
+let derive t key =
+  (* Mix the root seed with the key through two rounds of the SplitMix
+     finalizer so that nearby keys map to distant seeds. *)
+  let k = Int64.of_int key in
+  let mixed = Splitmix64.mix (Int64.add (Splitmix64.mix t.seed) (Int64.mul k 0x9E3779B97F4A7C15L)) in
+  { gen = Xoshiro256.create mixed; seed = mixed; spare_normal = None }
+
+let uniform t = Xoshiro256.float t.gen
+let uniform_pos t = Xoshiro256.float_pos t.gen
+
+let exponential t ~rate =
+  if rate <= 0. then invalid_arg "Rng.exponential: rate must be positive";
+  -.log (uniform_pos t) /. rate
+
+let rec normal t =
+  match t.spare_normal with
+  | Some z ->
+      t.spare_normal <- None;
+      z
+  | None ->
+      let u = (2. *. uniform t) -. 1. in
+      let v = (2. *. uniform t) -. 1. in
+      let s = (u *. u) +. (v *. v) in
+      if s >= 1. || s = 0. then normal t
+      else begin
+        let m = sqrt (-2. *. log s /. s) in
+        t.spare_normal <- Some (v *. m);
+        u *. m
+      end
+
+let int t bound = Xoshiro256.int t.gen bound
+let bool t = Xoshiro256.bool t.gen
+
+let split t =
+  let child = Xoshiro256.split t.gen in
+  { gen = child; seed = t.seed; spare_normal = None }
+
+let seed_of t = t.seed

@@ -1,0 +1,44 @@
+(** High-level random stream used throughout the simulator.
+
+    A thin facade over {!Xoshiro256} adding the derived deviates the
+    simulation needs (exponential, standard normal) and named substream
+    derivation, so that, e.g., processor [i] of replicate [r] of an
+    experiment always sees the same failure sequence regardless of how
+    many other streams were consumed before it. *)
+
+type t
+
+val create : seed:int64 -> t
+(** [create ~seed] is the root stream for [seed]. *)
+
+val derive : t -> int -> t
+(** [derive t key] is an independent stream deterministically derived
+    from [t]'s seed and [key].  Deriving never mutates [t]; the same
+    [(seed, key)] pair always yields the same stream.  Keys may be any
+    integers (trace index, processor index, ...). *)
+
+val uniform : t -> float
+(** Uniform on [\[0, 1)]. *)
+
+val uniform_pos : t -> float
+(** Uniform on [(0, 1)]; safe under [log]. *)
+
+val exponential : t -> rate:float -> float
+(** [exponential t ~rate] samples Exp(rate) by inverse transform.
+    @raise Invalid_argument if [rate <= 0]. *)
+
+val normal : t -> float
+(** Standard normal deviate (Marsaglia polar method). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform on [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val split : t -> t
+(** [split t] returns a new stream and advances [t] past it (xoshiro
+    jump), guaranteeing the two never overlap. *)
+
+val seed_of : t -> int64
+(** The root seed this stream (or its ancestor) was created from; used
+    for reporting and reproducibility metadata. *)

@@ -1,0 +1,22 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = seed }
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let next_int t bound =
+  if bound <= 0 then invalid_arg "Splitmix64.next_int: bound must be positive";
+  (* Rejection-free for our purposes: the modulo bias is negligible for
+     bounds far below 2^62, which is always the case here.  Keep 62
+     bits: Int64.to_int of a 63-bit value can wrap negative. *)
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  v mod bound

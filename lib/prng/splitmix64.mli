@@ -1,0 +1,26 @@
+(** SplitMix64 pseudo-random number generator.
+
+    A small, fast, 64-bit generator with a 64-bit state, due to Steele,
+    Lea and Flood ("Fast splittable pseudorandom number generators",
+    OOPSLA 2014).  Its main use here is seeding: it turns an arbitrary
+    64-bit seed into a well-mixed stream suitable for initializing the
+    state of larger generators such as {!Xoshiro256}. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator initialized with [seed].
+    Distinct seeds yield (with overwhelming probability) uncorrelated
+    streams. *)
+
+val next : t -> int64
+(** [next t] advances the state and returns the next 64-bit output. *)
+
+val next_int : t -> int -> int
+(** [next_int t bound] returns a uniformly distributed integer in
+    [\[0, bound)].  @raise Invalid_argument if [bound <= 0]. *)
+
+val mix : int64 -> int64
+(** [mix z] is the stateless SplitMix64 finalizer: a bijective mixing
+    of [z].  Useful for hashing seeds and deriving child seeds. *)

@@ -1,0 +1,264 @@
+module Job = Ckpt_policies.Job
+module Policy = Ckpt_policies.Policy
+module Trace_set = Ckpt_failures.Trace_set
+
+type metrics = {
+  makespan : float;
+  useful_work : float;
+  checkpoint_time : float;
+  wasted_time : float;
+  recovery_time : float;
+  stall_time : float;
+  failures : int;
+  chunks : int;
+  min_chunk : float;
+  max_chunk : float;
+}
+
+type outcome = Completed of metrics | Policy_failed of { at_time : float; remaining : float }
+
+(* Mutable execution state shared by the policy-driven run and the
+   omniscient lower bound. *)
+type state = {
+  job : Job.t;
+  events : (float * int) array;  (* merged (date, processor), sorted *)
+  mutable event_index : int;
+  lifetime_start : float array;  (* per processor *)
+  down_until : float array;
+  mutable now : float;
+  start_time : float;
+  mutable remaining : float;
+  mutable last_failure_ref : float;
+      (* reference instant of the most recent platform failure's new
+         lifetime (max over lifetime_start); min age = now - this. *)
+  (* accumulators *)
+  mutable useful_work : float;
+  mutable checkpoint_time : float;
+  mutable wasted_time : float;
+  mutable recovery_time : float;
+  mutable stall_time : float;
+  mutable failures : int;
+  mutable chunks : int;
+  mutable min_chunk : float;
+  mutable max_chunk : float;
+}
+
+let make_state ~scenario ~traces =
+  let job = scenario.Scenario.job in
+  let lifetime_start = Scenario.initial_lifetime_starts scenario traces in
+  let start_time = scenario.Scenario.start_time in
+  let last_failure_ref = Array.fold_left Float.max neg_infinity lifetime_start in
+  {
+    job;
+    events = Trace_set.events traces;
+    event_index = Trace_set.next_event_index traces ~after:start_time;
+    lifetime_start;
+    down_until = Array.make (Array.length lifetime_start) neg_infinity;
+    now = start_time;
+    start_time;
+    remaining = job.Job.work_time;
+    last_failure_ref;
+    useful_work = 0.;
+    checkpoint_time = 0.;
+    wasted_time = 0.;
+    recovery_time = 0.;
+    stall_time = 0.;
+    failures = 0;
+    chunks = 0;
+    min_chunk = 0.;
+    max_chunk = 0.;
+  }
+
+(* First effective failure strictly before [before], skipping (and
+   consuming) failures absorbed by their own processor's downtime.
+   Does not consume the effective event it reports. *)
+let peek_effective_failure st ~before =
+  let n = Array.length st.events in
+  let rec scan () =
+    if st.event_index >= n then None
+    else begin
+      let date, proc = st.events.(st.event_index) in
+      if date >= before then None
+      else if date < st.down_until.(proc) then begin
+        st.event_index <- st.event_index + 1;
+        scan ()
+      end
+      else Some (date, proc)
+    end
+  in
+  scan ()
+
+let consume_event st = st.event_index <- st.event_index + 1
+
+(* Register the failure of [proc] at [date]: downtime, lifetime
+   restart, and cascading failures of other processors until every
+   processor is simultaneously available.  Returns the instant at
+   which the platform is whole again. *)
+let rec settle_downtime st ~date ~proc =
+  let d = Job.downtime st.job in
+  st.failures <- st.failures + 1;
+  st.down_until.(proc) <- date +. d;
+  st.lifetime_start.(proc) <- date +. d;
+  st.last_failure_ref <- Float.max st.last_failure_ref (date +. d);
+  let ready = date +. d in
+  match peek_effective_failure st ~before:ready with
+  | None -> ready
+  | Some (date', proc') ->
+      consume_event st;
+      Float.max ready (settle_downtime st ~date:date' ~proc:proc')
+
+(* Handle a failure hitting at [date] while the job was busy
+   (execution or recovery; the caller attributes the lost time), then
+   perform the recovery — cost [r] — which may itself be struck.
+   On return, [st.now] is the instant the job can resume computing. *)
+let handle_failure st ~date ~proc ~r =
+  let rec recover ready =
+    st.stall_time <- st.stall_time +. (ready -. st.now);
+    st.now <- ready;
+    match peek_effective_failure st ~before:(ready +. r) with
+    | None ->
+        st.recovery_time <- st.recovery_time +. r;
+        st.now <- ready +. r
+    | Some (date', proc') ->
+        consume_event st;
+        st.recovery_time <- st.recovery_time +. (date' -. ready);
+        st.now <- date';
+        let ready' = settle_downtime st ~date:date' ~proc:proc' in
+        recover ready'
+  in
+  consume_event st;
+  st.wasted_time <- st.wasted_time +. (date -. st.now);
+  st.now <- date;
+  let ready = settle_downtime st ~date ~proc in
+  recover ready
+
+let metrics_of st =
+  {
+    makespan = st.now -. st.start_time;
+    useful_work = st.useful_work;
+    checkpoint_time = st.checkpoint_time;
+    wasted_time = st.wasted_time;
+    recovery_time = st.recovery_time;
+    stall_time = st.stall_time;
+    failures = st.failures;
+    chunks = st.chunks;
+    min_chunk = st.min_chunk;
+    max_chunk = st.max_chunk;
+  }
+
+let record_chunk st chunk =
+  st.chunks <- st.chunks + 1;
+  if st.chunks = 1 then begin
+    st.min_chunk <- chunk;
+    st.max_chunk <- chunk
+  end
+  else begin
+    st.min_chunk <- Float.min st.min_chunk chunk;
+    st.max_chunk <- Float.max st.max_chunk chunk
+  end
+
+let work_epsilon = 1e-6
+
+let run_internal ~cost_profile ~scenario ~traces ~policy =
+  let st = make_state ~scenario ~traces in
+  let constant_c = Job.checkpoint_cost st.job in
+  let constant_r = Job.recovery_cost st.job in
+  let work_time = st.job.Job.work_time in
+  let costs_at ~remaining =
+    match cost_profile with
+    | None -> (constant_c, constant_r)
+    | Some f -> f ~progress:(Float.max 0. (Float.min 1. (1. -. (remaining /. work_time))))
+  in
+  let instance = policy.Policy.instantiate () in
+  let phase = ref Policy.Start in
+  let iter_ages f =
+    Array.iter (fun ls -> f (Float.max 0. (st.now -. ls))) st.lifetime_start
+  in
+  let outcome = ref None in
+  while !outcome = None do
+    if st.remaining <= work_epsilon then outcome := Some (Completed (metrics_of st))
+    else begin
+      let obs =
+        {
+          Policy.phase = !phase;
+          remaining = st.remaining;
+          failure_units = Array.length st.lifetime_start;
+          min_age = Float.max 0. (st.now -. st.last_failure_ref);
+          iter_ages;
+        }
+      in
+      match instance obs with
+      | None -> outcome := Some (Policy_failed { at_time = st.now; remaining = st.remaining })
+      | Some chunk ->
+          let chunk =
+            let c' = Policy.clamp_chunk ~remaining:st.remaining chunk in
+            if c' < work_epsilon then st.remaining else c'
+          in
+          (* Checkpoint cost at the progress the chunk ends at;
+             recovery cost at the progress being protected (the last
+             committed checkpoint). *)
+          let c, _ = costs_at ~remaining:(st.remaining -. chunk) in
+          let _, r = costs_at ~remaining:st.remaining in
+          let finish = st.now +. chunk +. c in
+          (match peek_effective_failure st ~before:finish with
+          | None ->
+              st.now <- finish;
+              st.remaining <- st.remaining -. chunk;
+              st.useful_work <- st.useful_work +. chunk;
+              st.checkpoint_time <- st.checkpoint_time +. c;
+              record_chunk st chunk;
+              phase := Policy.After_checkpoint
+          | Some (date, proc) ->
+              handle_failure st ~date ~proc ~r;
+              phase := Policy.After_recovery)
+    end
+  done;
+  Option.get !outcome
+
+let lower_bound ~scenario ~traces =
+  let st = make_state ~scenario ~traces in
+  let c = Job.checkpoint_cost st.job in
+  while st.remaining > work_epsilon do
+    match peek_effective_failure st ~before:infinity with
+    | None ->
+        (* Failure-free to the horizon: finish in one chunk. *)
+        let chunk = st.remaining in
+        st.now <- st.now +. chunk +. c;
+        st.useful_work <- st.useful_work +. chunk;
+        st.checkpoint_time <- st.checkpoint_time +. c;
+        st.remaining <- 0.;
+        record_chunk st chunk
+    | Some (date, proc) ->
+        let available = date -. st.now in
+        if st.remaining +. c <= available then begin
+          (* The job finishes before the failure strikes. *)
+          let chunk = st.remaining in
+          st.now <- st.now +. chunk +. c;
+          st.useful_work <- st.useful_work +. chunk;
+          st.checkpoint_time <- st.checkpoint_time +. c;
+          st.remaining <- 0.;
+          record_chunk st chunk
+        end
+        else begin
+          if available > c then begin
+            (* Work as much as possible, checkpointing just in time:
+               the checkpoint commits exactly when the failure hits. *)
+            let chunk = available -. c in
+            st.useful_work <- st.useful_work +. chunk;
+            st.checkpoint_time <- st.checkpoint_time +. c;
+            st.remaining <- st.remaining -. chunk;
+            record_chunk st chunk
+          end
+          else
+            (* Too close to the failure to save anything: idle. *)
+            st.wasted_time <- st.wasted_time +. available;
+          st.now <- date;
+          handle_failure st ~date ~proc ~r:(Job.recovery_cost st.job)
+        end
+  done;
+  metrics_of st
+
+let run ~scenario ~traces ~policy = run_internal ~cost_profile:None ~scenario ~traces ~policy
+
+let run_with_cost_profile ~cost_profile ~scenario ~traces ~policy =
+  run_internal ~cost_profile:(Some cost_profile) ~scenario ~traces ~policy

@@ -1,0 +1,68 @@
+(** The discrete-event execution engine.
+
+    Simulates one execution of a tightly coupled parallel job on a
+    trace set, under a checkpointing policy, with the paper's
+    failed-only rejuvenation model (Section 3.1):
+
+    - all [p] processors execute each chunk synchronously and
+      checkpoint together;
+    - a failure of any processor during execution, checkpointing or
+      recovery destroys the work since the last committed checkpoint;
+    - the failed processor undergoes a downtime [D] (its own failure
+      dates inside the downtime are absorbed); healthy processors keep
+      their ages but stall;
+    - further processors may fail during a downtime or during the
+      recovery, cascading (Section 3.2's discussion of [E(Trec)]);
+    - the recovery of the last checkpoint takes [R(p)] once all
+      processors are simultaneously up, and restarts after any
+      interrupting failure;
+    - a lifetime restarts at the beginning of the recovery period that
+      follows the downtime. *)
+
+type metrics = {
+  makespan : float;  (** total wall-clock time of the execution. *)
+  useful_work : float;  (** seconds of committed chunk work. *)
+  checkpoint_time : float;  (** committed checkpoint overhead. *)
+  wasted_time : float;
+      (** execution and checkpointing time destroyed by failures. *)
+  recovery_time : float;  (** completed and interrupted recoveries. *)
+  stall_time : float;  (** downtime waits (processors idle). *)
+  failures : int;  (** effective platform failures during the job. *)
+  chunks : int;  (** committed chunks. *)
+  min_chunk : float;
+  max_chunk : float;  (** extreme committed chunk sizes ([0.] if none). *)
+}
+
+type outcome =
+  | Completed of metrics
+  | Policy_failed of { at_time : float; remaining : float }
+      (** the policy returned [None] (could not compute a chunk). *)
+
+val run :
+  scenario:Scenario.t ->
+  traces:Ckpt_failures.Trace_set.t ->
+  policy:Ckpt_policies.Policy.t ->
+  outcome
+(** Simulate one execution with the job's constant [C(p) = R(p)].  The
+    trace set must cover the scenario's processors and horizon. *)
+
+val run_with_cost_profile :
+  cost_profile:(progress:float -> float * float) ->
+  scenario:Scenario.t ->
+  traces:Ckpt_failures.Trace_set.t ->
+  policy:Ckpt_policies.Policy.t ->
+  outcome
+(** Like {!run}, but the checkpoint and recovery costs depend on the
+    job's progress (fraction of work committed, in [\[0, 1\]]) — the
+    extension sketched in the paper's conclusion for applications
+    whose footprint evolves (e.g. adaptive mesh refinement).
+    [cost_profile] returns [(C, R)] at a progress point; a chunk's
+    checkpoint is charged at the progress the chunk {e ends} at, a
+    recovery at the progress being restored. *)
+
+val lower_bound :
+  scenario:Scenario.t -> traces:Ckpt_failures.Trace_set.t -> metrics
+(** The omniscient LowerBound of Section 4.1: knows every failure date
+    and checkpoints exactly [C(p)] ahead of each, so it never wastes
+    execution time; unattainable in practice, serves as the absolute
+    reference. *)

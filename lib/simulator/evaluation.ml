@@ -1,0 +1,128 @@
+module Policy = Ckpt_policies.Policy
+module Summary = Ckpt_numerics.Summary
+
+type policy_result = {
+  policy_name : string;
+  average_degradation : float;
+  std_degradation : float;
+  average_makespan : float;
+  successes : int;
+  average_failures : float;
+  max_failures : int;
+  average_chunks : float;
+  min_chunk : float;
+  max_chunk : float;
+}
+
+type table = {
+  lower_bound : policy_result;
+  results : policy_result list;
+  replicates : int;
+  usable_replicates : int;
+}
+
+type accumulator = {
+  mutable degradation : Summary.t;
+  mutable makespan : Summary.t;
+  mutable failures : Summary.t;
+  mutable chunk_counts : Summary.t;
+  mutable worst_failures : int;
+  mutable smallest_chunk : float;
+  mutable largest_chunk : float;
+}
+
+let fresh_accumulator () =
+  {
+    degradation = Summary.empty;
+    makespan = Summary.empty;
+    failures = Summary.empty;
+    chunk_counts = Summary.empty;
+    worst_failures = 0;
+    smallest_chunk = infinity;
+    largest_chunk = 0.;
+  }
+
+let record acc ~degradation (m : Engine.metrics) =
+  acc.degradation <- Summary.add acc.degradation degradation;
+  acc.makespan <- Summary.add acc.makespan m.Engine.makespan;
+  acc.failures <- Summary.add acc.failures (float_of_int m.Engine.failures);
+  acc.chunk_counts <- Summary.add acc.chunk_counts (float_of_int m.Engine.chunks);
+  acc.worst_failures <- max acc.worst_failures m.Engine.failures;
+  if m.Engine.chunks > 0 then begin
+    acc.smallest_chunk <- Float.min acc.smallest_chunk m.Engine.min_chunk;
+    acc.largest_chunk <- Float.max acc.largest_chunk m.Engine.max_chunk
+  end
+
+let result_of_accumulator name acc =
+  {
+    policy_name = name;
+    average_degradation = Summary.mean acc.degradation;
+    std_degradation = Summary.std acc.degradation;
+    average_makespan = Summary.mean acc.makespan;
+    successes = Summary.count acc.degradation;
+    average_failures = Summary.mean acc.failures;
+    max_failures = acc.worst_failures;
+    average_chunks = Summary.mean acc.chunk_counts;
+    min_chunk = (if acc.smallest_chunk = infinity then 0. else acc.smallest_chunk);
+    max_chunk = acc.largest_chunk;
+  }
+
+let degradation_table ~scenario ~policies ~replicates =
+  if replicates <= 0 then invalid_arg "Evaluation.degradation_table: replicates must be positive";
+  if policies = [] then invalid_arg "Evaluation.degradation_table: no policies";
+  let n = List.length policies in
+  let accs = Array.init n (fun _ -> fresh_accumulator ()) in
+  let lb_acc = fresh_accumulator () in
+  let usable = ref 0 in
+  for replicate = 0 to replicates - 1 do
+    let traces = Scenario.traces scenario ~replicate in
+    let runs = List.map (fun policy -> Engine.run ~scenario ~traces ~policy) policies in
+    let best =
+      List.fold_left
+        (fun acc outcome ->
+          match outcome with
+          | Engine.Completed m -> Float.min acc m.Engine.makespan
+          | Engine.Policy_failed _ -> acc)
+        infinity runs
+    in
+    if Float.is_finite best && best > 0. then begin
+      incr usable;
+      List.iteri
+        (fun i outcome ->
+          match outcome with
+          | Engine.Completed m ->
+              record accs.(i) ~degradation:(m.Engine.makespan /. best) m
+          | Engine.Policy_failed _ -> ())
+        runs;
+      let lb = Engine.lower_bound ~scenario ~traces in
+      record lb_acc ~degradation:(lb.Engine.makespan /. best) lb
+    end
+  done;
+  {
+    lower_bound = result_of_accumulator "LowerBound" lb_acc;
+    results = List.mapi (fun i p -> result_of_accumulator p.Policy.name accs.(i)) policies;
+    replicates;
+    usable_replicates = !usable;
+  }
+
+let average_makespan ~scenario ~policy ~replicates =
+  let acc = ref Summary.empty in
+  for replicate = 0 to replicates - 1 do
+    let traces = Scenario.traces scenario ~replicate in
+    match Engine.run ~scenario ~traces ~policy with
+    | Engine.Completed m -> acc := Summary.add !acc m.Engine.makespan
+    | Engine.Policy_failed _ -> ()
+  done;
+  if Summary.count !acc = 0 then None else Some (Summary.mean !acc)
+
+let pp_result fmt r =
+  Format.fprintf fmt "%-16s %8.5f %8.5f  %10.0f s  %3d ok  %6.1f fail (max %d)" r.policy_name
+    r.average_degradation r.std_degradation r.average_makespan r.successes r.average_failures
+    r.max_failures
+
+let pp_table fmt t =
+  Format.fprintf fmt "%-16s %8s %8s  %12s  %5s  %s@." "policy" "avg-deg" "std" "avg-makespan"
+    "runs" "failures";
+  Format.fprintf fmt "%a@." pp_result t.lower_bound;
+  List.iter (fun r -> Format.fprintf fmt "%a@." pp_result r) t.results;
+  Format.fprintf fmt "(%d/%d usable trace sets)@." t.usable_replicates t.replicates

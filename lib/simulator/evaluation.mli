@@ -1,0 +1,43 @@
+(** The paper's evaluation methodology (Section 4.1).
+
+    For a scenario, generate [replicates] trace sets; run every policy
+    on every trace set; on each trace set normalize each policy's
+    makespan by the best makespan achieved by any {e policy} (the
+    omniscient LowerBound is excluded from the minimum but reported,
+    normalized, as its own row); average the per-trace degradations. *)
+
+type policy_result = {
+  policy_name : string;
+  average_degradation : float;  (** mean of makespan / best-of-trace. *)
+  std_degradation : float;
+  average_makespan : float;  (** seconds; over successful runs. *)
+  successes : int;  (** trace sets on which the policy produced a run. *)
+  average_failures : float;  (** platform failures per successful run. *)
+  max_failures : int;
+  average_chunks : float;
+  min_chunk : float;  (** smallest chunk ever committed (seconds). *)
+  max_chunk : float;
+}
+
+type table = {
+  lower_bound : policy_result;  (** the omniscient reference (< 1). *)
+  results : policy_result list;  (** one row per policy, input order. *)
+  replicates : int;
+  usable_replicates : int;
+      (** trace sets on which at least one policy completed. *)
+}
+
+val degradation_table :
+  scenario:Scenario.t ->
+  policies:Ckpt_policies.Policy.t list ->
+  replicates:int ->
+  table
+(** @raise Invalid_argument if [replicates <= 0] or [policies = []]. *)
+
+val average_makespan :
+  scenario:Scenario.t -> policy:Ckpt_policies.Policy.t -> replicates:int -> float option
+(** Mean makespan of one policy alone (Appendix D's absolute-makespan
+    plots); [None] if the policy failed on every trace set. *)
+
+val pp_table : Format.formatter -> table -> unit
+(** Render rows as the paper's tables do (name, avg, std, extras). *)

@@ -1,0 +1,436 @@
+(* Unit and property tests for the distribution substrate. *)
+
+module D = Ckpt_distributions.Distribution
+module Exponential = Ckpt_distributions.Exponential
+module Weibull = Ckpt_distributions.Weibull
+module Lognormal = Ckpt_distributions.Lognormal
+module Gamma_dist = Ckpt_distributions.Gamma_dist
+module Uniform_dist = Ckpt_distributions.Uniform_dist
+module Empirical = Ckpt_distributions.Empirical
+module Rng = Ckpt_prng.Rng
+
+let check = Alcotest.check
+let close ?(tol = 1e-9) msg expected actual =
+  Alcotest.check (Alcotest.float tol) msg expected actual
+
+let families =
+  [
+    ("exponential", Exponential.create ~rate:(1. /. 500.));
+    ("weibull k=0.7", Weibull.of_mtbf ~mtbf:500. ~shape:0.7);
+    ("weibull k=2", Weibull.of_mtbf ~mtbf:500. ~shape:2.);
+    ("lognormal", Lognormal.of_mtbf ~mtbf:500. ~sigma:1.2);
+    ("gamma a=0.5", Gamma_dist.of_mtbf ~mtbf:500. ~shape:0.5);
+    ("gamma a=3", Gamma_dist.of_mtbf ~mtbf:500. ~shape:3.);
+    ("lomax a=2.5", Ckpt_distributions.Lomax.of_mtbf ~mtbf:500. ~shape:2.5);
+    ("uniform", Uniform_dist.create ~lo:100. ~hi:900.);
+  ]
+
+(* -- generic invariants, every family ------------------------------------- *)
+
+let test_self_check () =
+  List.iter
+    (fun (name, d) ->
+      List.iter
+        (fun (what, ok) -> check Alcotest.bool (name ^ ": " ^ what) true ok)
+        (D.check d))
+    families
+
+let test_mean_500 () =
+  List.iter
+    (fun (name, d) -> close ~tol:1e-6 (name ^ " mean") 500. d.D.mean)
+    families
+
+let test_sample_mean_matches () =
+  let rng = Rng.create ~seed:31L in
+  List.iter
+    (fun (name, d) ->
+      let n = 20_000 in
+      let acc = ref 0. in
+      for _ = 1 to n do
+        acc := !acc +. d.D.sample rng
+      done;
+      let mean = !acc /. float_of_int n in
+      check Alcotest.bool
+        (Printf.sprintf "%s sample mean %.1f within 5%%" name mean)
+        true
+        (abs_float (mean -. 500.) < 25.))
+    families
+
+let test_cdf_survival_complement () =
+  List.iter
+    (fun (name, d) ->
+      List.iter
+        (fun x -> close ~tol:1e-12 (name ^ " cdf+surv") 1. (D.cdf d x +. D.survival d x))
+        [ 10.; 100.; 500.; 2000. ])
+    families
+
+let test_quantile_inverts_cdf () =
+  List.iter
+    (fun (name, d) ->
+      List.iter
+        (fun p ->
+          let x = d.D.quantile p in
+          close ~tol:1e-5 (Printf.sprintf "%s quantile at %g" name p) p (D.cdf d x))
+        [ 0.05; 0.25; 0.5; 0.75; 0.95 ])
+    families
+
+let test_conditional_survival_in_unit () =
+  List.iter
+    (fun (name, d) ->
+      List.iter
+        (fun (age, duration) ->
+          let p = D.conditional_survival d ~age ~duration in
+          check Alcotest.bool
+            (Printf.sprintf "%s psuc(%g|%g) in [0,1]" name duration age)
+            true
+            (p >= 0. && p <= 1. +. 1e-12))
+        [ (0., 100.); (200., 100.); (450., 400.); (100., 0.) ])
+    families
+
+let test_tlost_within_window () =
+  List.iter
+    (fun (name, d) ->
+      List.iter
+        (fun (age, window) ->
+          let v = D.expected_tlost d ~age ~window in
+          check Alcotest.bool
+            (Printf.sprintf "%s tlost(%g|%g) in [0,w]" name window age)
+            true
+            (v >= 0. && v <= window +. 1e-9))
+        [ (0., 100.); (100., 300.); (400., 50.) ])
+    families
+
+let test_survival_quantile () =
+  List.iter
+    (fun (name, d) ->
+      let x = D.survival_quantile d 0.3 in
+      close ~tol:1e-5 (name ^ " survival quantile") 0.3 (D.survival d x))
+    families
+
+(* -- exponential ----------------------------------------------------------- *)
+
+let test_exponential_memoryless () =
+  let d = Exponential.create ~rate:(1. /. 500.) in
+  List.iter
+    (fun age ->
+      (* Tolerance: the cumulative hazard at age 1e7 is ~2e4, whose
+         floating-point granularity dominates. *)
+      close ~tol:1e-9 "memoryless"
+        (D.conditional_survival d ~age:0. ~duration:120.)
+        (D.conditional_survival d ~age ~duration:120.))
+    [ 1.; 100.; 1e4; 1e7 ]
+
+let test_exponential_tlost_closed_form_vs_numeric () =
+  (* Strip the override to force the generic quadrature path. *)
+  let d = Exponential.create ~rate:(1. /. 500.) in
+  let generic = { d with D.tlost_override = None } in
+  List.iter
+    (fun window ->
+      close ~tol:1e-4 (Printf.sprintf "tlost window %g" window)
+        (D.expected_tlost d ~age:0. ~window)
+        (D.expected_tlost generic ~age:0. ~window))
+    [ 10.; 100.; 500.; 3000. ]
+
+let test_exponential_tlost_limits () =
+  (* E(Tlost(w)) -> w/2 as w -> 0 and -> 1/rate as w -> infinity. *)
+  close ~tol:1e-6 "small window" 0.005
+    (Exponential.expected_tlost_closed_form ~rate:0.001 ~window:0.01);
+  close ~tol:1. "large window" 1000.
+    (Exponential.expected_tlost_closed_form ~rate:0.001 ~window:1e7)
+
+let test_exponential_invalid () =
+  Alcotest.check_raises "rate 0" (Invalid_argument "Exponential.create: rate must be positive")
+    (fun () -> ignore (Exponential.create ~rate:0.));
+  Alcotest.check_raises "mtbf 0" (Invalid_argument "Exponential.of_mtbf: mtbf must be positive")
+    (fun () -> ignore (Exponential.of_mtbf ~mtbf:0.))
+
+(* -- weibull ----------------------------------------------------------------- *)
+
+let test_weibull_k1_is_exponential () =
+  let w = Weibull.create ~scale:500. ~shape:1. in
+  let e = Exponential.create ~rate:(1. /. 500.) in
+  List.iter
+    (fun x ->
+      close ~tol:1e-12 (Printf.sprintf "cdf at %g" x) (D.cdf e x) (D.cdf w x);
+      close ~tol:1e-12 (Printf.sprintf "hazard at %g" x) (D.hazard e x) (D.hazard w x))
+    [ 1.; 50.; 500.; 5000. ]
+
+let test_weibull_conditional_closed_form () =
+  (* Psuc(x|tau) = exp((tau/l)^k - ((tau+x)/l)^k). *)
+  let scale = 800. and shape = 0.7 in
+  let d = Weibull.create ~scale ~shape in
+  List.iter
+    (fun (age, x) ->
+      let expected = exp (((age /. scale) ** shape) -. (((age +. x) /. scale) ** shape)) in
+      close ~tol:1e-12
+        (Printf.sprintf "psuc(%g|%g)" x age)
+        expected
+        (D.conditional_survival d ~age ~duration:x))
+    [ (0., 100.); (100., 100.); (1e6, 1e3) ]
+
+let test_weibull_decreasing_hazard () =
+  let d = Weibull.of_mtbf ~mtbf:500. ~shape:0.7 in
+  check Alcotest.bool "hazard decreases for k<1" true (D.hazard d 10. > D.hazard d 1000.);
+  let d2 = Weibull.of_mtbf ~mtbf:500. ~shape:2. in
+  check Alcotest.bool "hazard increases for k>1" true (D.hazard d2 10. < D.hazard d2 1000.)
+
+let test_weibull_platform_scale () =
+  (* min of p iid Weibull = Weibull with scale / p^(1/k). *)
+  let scale = 1000. and shape = 0.7 in
+  let d = Weibull.create ~scale ~shape in
+  let p = 64 in
+  let dmin = D.min_of_iid d p in
+  let scaled =
+    Weibull.create ~scale:(Weibull.platform_scale ~scale ~shape ~processors:p) ~shape
+  in
+  List.iter
+    (fun x -> close ~tol:1e-9 (Printf.sprintf "min cdf at %g" x) (D.cdf scaled x) (D.cdf dmin x))
+    [ 0.5; 2.; 10.; 50. ];
+  close ~tol:1e-3 "min mean matches scaled mean" 1. (scaled.D.mean /. dmin.D.mean)
+
+let test_weibull_invalid () =
+  Alcotest.check_raises "shape 0" (Invalid_argument "Weibull.create: shape must be positive")
+    (fun () -> ignore (Weibull.create ~scale:1. ~shape:0.))
+
+(* -- lognormal / gamma ------------------------------------------------------- *)
+
+let test_lognormal_median () =
+  let d = Lognormal.create ~mu:2. ~sigma:0.8 in
+  close ~tol:1e-6 "median = e^mu" (exp 2.) (d.D.quantile 0.5)
+
+let test_gamma_a1_is_exponential () =
+  let g = Gamma_dist.create ~shape:1. ~scale:500. in
+  let e = Exponential.create ~rate:(1. /. 500.) in
+  List.iter
+    (fun x -> close ~tol:1e-9 (Printf.sprintf "cdf at %g" x) (D.cdf e x) (D.cdf g x))
+    [ 10.; 200.; 800. ]
+
+let test_gamma_invalid () =
+  Alcotest.check_raises "shape 0" (Invalid_argument "Gamma_dist.create: shape must be positive")
+    (fun () -> ignore (Gamma_dist.create ~shape:0. ~scale:1.))
+
+(* -- lomax ---------------------------------------------------------------------- *)
+
+module Lomax = Ckpt_distributions.Lomax
+
+let test_lomax_closed_forms () =
+  let d = Lomax.create ~scale:100. ~shape:2. in
+  close ~tol:1e-12 "survival" ((1. +. (50. /. 100.)) ** -2.) (D.survival d 50.);
+  close ~tol:1e-12 "hazard" (2. /. 150.) (D.hazard d 50.);
+  close ~tol:1e-9 "quantile" (100. *. ((0.25 ** -0.5) -. 1.)) (d.D.quantile 0.75);
+  close "mean" 100. d.D.mean
+
+let test_lomax_decreasing_hazard () =
+  let d = Lomax.of_mtbf ~mtbf:500. ~shape:2.5 in
+  check Alcotest.bool "DFR" true (D.hazard d 1. > D.hazard d 1000.)
+
+let test_lomax_invalid () =
+  Alcotest.check_raises "infinite mean"
+    (Invalid_argument "Lomax.of_mtbf: shape must exceed 1 for a finite mean") (fun () ->
+      ignore (Lomax.of_mtbf ~mtbf:1. ~shape:1.));
+  check Alcotest.bool "heavy tail flagged" true
+    (Float.is_integer 0. && (Lomax.create ~scale:1. ~shape:0.5).D.mean = infinity)
+
+(* -- uniform ------------------------------------------------------------------ *)
+
+let test_uniform_conditional () =
+  (* P(X >= a+x | X >= a) = (hi - a - x)/(hi - a) on the support. *)
+  let d = Uniform_dist.create ~lo:0. ~hi:100. in
+  close ~tol:1e-12 "conditional survival" (40. /. 70.)
+    (D.conditional_survival d ~age:30. ~duration:30.);
+  (* Failure uniform on the window: expected loss is half the window. *)
+  close ~tol:1e-6 "tlost mid-window" 15. (D.expected_tlost d ~age:30. ~window:30.)
+
+let test_uniform_invalid () =
+  Alcotest.check_raises "negative support"
+    (Invalid_argument "Uniform_dist.create: negative support") (fun () ->
+      ignore (Uniform_dist.create ~lo:(-1.) ~hi:1.))
+
+(* -- min_of_iid ---------------------------------------------------------------- *)
+
+let test_min_of_iid_survival_power () =
+  List.iter
+    (fun (name, d) ->
+      let n = 8 in
+      let dmin = D.min_of_iid d n in
+      List.iter
+        (fun x ->
+          close ~tol:1e-9
+            (Printf.sprintf "%s S_min = S^n at %g" name x)
+            (D.survival d x ** float_of_int n)
+            (D.survival dmin x))
+        [ 50.; 200.; 600. ])
+    families
+
+let test_min_of_iid_identity () =
+  let d = Exponential.create ~rate:1. in
+  check Alcotest.bool "n = 1 returns the same distribution" true (D.min_of_iid d 1 == d)
+
+let test_min_of_iid_invalid () =
+  Alcotest.check_raises "n = 0" (Invalid_argument "Distribution.min_of_iid: n must be positive")
+    (fun () -> ignore (D.min_of_iid (Exponential.create ~rate:1.) 0))
+
+let test_min_of_iid_exponential_rate () =
+  (* min of n Exp(r) is Exp(n r): mean divides by n. *)
+  let d = Exponential.create ~rate:(1. /. 500.) in
+  let dmin = D.min_of_iid d 10 in
+  close ~tol:1e-4 "mean / 10" 50. dmin.D.mean
+
+(* -- empirical ------------------------------------------------------------------ *)
+
+let sample = [| 5.; 10.; 10.; 20.; 40.; 80.; 160.; 320. |]
+
+let test_empirical_ratio_estimator () =
+  (* The Section 4.3 estimator: #( >= t ) / #( >= tau ). *)
+  let d = Empirical.of_intervals sample in
+  close ~tol:1e-12 "counts ratio" (2. /. 4.)
+    (D.conditional_survival d ~age:40. ~duration:120.);
+  close ~tol:1e-12 "cross-check helper"
+    (Empirical.conditional_survival_counts sample ~t:160. ~tau:40.)
+    (D.conditional_survival d ~age:40. ~duration:120.)
+
+let test_empirical_quantile_order_stats () =
+  let d = Empirical.of_intervals sample in
+  close "smallest" 5. (d.D.quantile 0.01);
+  close "median-ish" 20. (d.D.quantile 0.5);
+  close "largest" 320. (d.D.quantile 0.999)
+
+let test_empirical_mean () =
+  let d = Empirical.of_intervals sample in
+  close ~tol:1e-9 "sample mean" (Array.fold_left ( +. ) 0. sample /. 8.) d.D.mean
+
+let test_empirical_sampling_support () =
+  let d = Empirical.of_intervals sample in
+  let rng = Rng.create ~seed:5L in
+  for _ = 1 to 200 do
+    let v = d.D.sample rng in
+    check Alcotest.bool "sample from support" true (Array.mem v sample)
+  done
+
+let test_empirical_age_clamp () =
+  (* Conditioning beyond the largest observation clamps instead of
+     dividing by an empty set. *)
+  let d = Empirical.of_intervals sample in
+  let p = D.conditional_survival d ~age:1000. ~duration:10. in
+  check Alcotest.bool "clamped, finite" true (Float.is_finite p && p >= 0. && p <= 1.)
+
+let test_empirical_tlost_discrete () =
+  let d = Empirical.of_intervals sample in
+  (* Failures in [5, 45) given age 5: points 5, 10, 10, 20, 40;
+     mean of (x - 5) = (0 + 5 + 5 + 15 + 35)/5 = 12. *)
+  close ~tol:1e-9 "discrete tlost" 12. (D.expected_tlost d ~age:5. ~window:40.)
+
+let test_empirical_invalid () =
+  Alcotest.check_raises "empty" (Invalid_argument "Empirical.of_intervals: empty sample")
+    (fun () -> ignore (Empirical.of_intervals [||]));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Empirical.of_intervals: non-positive duration") (fun () ->
+      ignore (Empirical.of_intervals [| 1.; -2. |]))
+
+(* -- properties -------------------------------------------------------------- *)
+
+let family_gen = QCheck2.Gen.oneofl (List.map snd families)
+
+let prop_cdf_monotone =
+  QCheck2.Test.make ~name:"cdf is nondecreasing" ~count:300
+    QCheck2.Gen.(triple family_gen (float_range 0. 2000.) (float_range 0. 2000.))
+    (fun (d, a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      D.cdf d lo <= D.cdf d hi +. 1e-12)
+
+let prop_conditional_consistency =
+  (* Psuc(x+y | tau) = Psuc(x | tau) * Psuc(y | tau + x). *)
+  QCheck2.Test.make ~name:"conditional survival composes" ~count:300
+    QCheck2.Gen.(
+      quad family_gen (float_range 0. 1000.) (float_range 0. 500.) (float_range 0. 500.))
+    (fun (d, tau, x, y) ->
+      let lhs = D.conditional_survival d ~age:tau ~duration:(x +. y) in
+      let rhs =
+        D.conditional_survival d ~age:tau ~duration:x
+        *. D.conditional_survival d ~age:(tau +. x) ~duration:y
+      in
+      abs_float (lhs -. rhs) < 1e-9)
+
+let prop_quantile_round_trip =
+  QCheck2.Test.make ~name:"cdf (quantile p) ~ p" ~count:200
+    QCheck2.Gen.(pair family_gen (float_range 0.01 0.99))
+    (fun (d, p) -> abs_float (D.cdf d (d.D.quantile p) -. p) < 1e-4)
+
+let prop_min_of_iid_smaller =
+  QCheck2.Test.make ~name:"min of n iid stochastically smaller" ~count:200
+    QCheck2.Gen.(triple family_gen (int_range 2 50) (float_range 1. 1500.))
+    (fun (d, n, x) -> D.survival (D.min_of_iid d n) x <= D.survival d x +. 1e-12)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_cdf_monotone; prop_conditional_consistency; prop_quantile_round_trip;
+      prop_min_of_iid_smaller ]
+
+let () =
+  Alcotest.run "distributions"
+    [
+      ( "generic",
+        [
+          Alcotest.test_case "self check" `Quick test_self_check;
+          Alcotest.test_case "means" `Quick test_mean_500;
+          Alcotest.test_case "sample means" `Quick test_sample_mean_matches;
+          Alcotest.test_case "cdf + survival = 1" `Quick test_cdf_survival_complement;
+          Alcotest.test_case "quantile inverts cdf" `Quick test_quantile_inverts_cdf;
+          Alcotest.test_case "conditional survival bounds" `Quick
+            test_conditional_survival_in_unit;
+          Alcotest.test_case "tlost within window" `Quick test_tlost_within_window;
+          Alcotest.test_case "survival quantile" `Quick test_survival_quantile;
+        ] );
+      ( "exponential",
+        [
+          Alcotest.test_case "memoryless" `Quick test_exponential_memoryless;
+          Alcotest.test_case "tlost closed vs numeric" `Quick
+            test_exponential_tlost_closed_form_vs_numeric;
+          Alcotest.test_case "tlost limits" `Quick test_exponential_tlost_limits;
+          Alcotest.test_case "invalid args" `Quick test_exponential_invalid;
+        ] );
+      ( "weibull",
+        [
+          Alcotest.test_case "k=1 is exponential" `Quick test_weibull_k1_is_exponential;
+          Alcotest.test_case "conditional closed form" `Quick test_weibull_conditional_closed_form;
+          Alcotest.test_case "hazard monotonicity" `Quick test_weibull_decreasing_hazard;
+          Alcotest.test_case "platform scale = min_of_iid" `Quick test_weibull_platform_scale;
+          Alcotest.test_case "invalid args" `Quick test_weibull_invalid;
+        ] );
+      ( "lognormal+gamma",
+        [
+          Alcotest.test_case "lognormal median" `Quick test_lognormal_median;
+          Alcotest.test_case "gamma a=1 is exponential" `Quick test_gamma_a1_is_exponential;
+          Alcotest.test_case "gamma invalid" `Quick test_gamma_invalid;
+        ] );
+      ( "lomax",
+        [
+          Alcotest.test_case "closed forms" `Quick test_lomax_closed_forms;
+          Alcotest.test_case "decreasing hazard" `Quick test_lomax_decreasing_hazard;
+          Alcotest.test_case "invalid args" `Quick test_lomax_invalid;
+        ] );
+      ( "uniform",
+        [
+          Alcotest.test_case "conditional quantities" `Quick test_uniform_conditional;
+          Alcotest.test_case "invalid args" `Quick test_uniform_invalid;
+        ] );
+      ( "min_of_iid",
+        [
+          Alcotest.test_case "survival power law" `Quick test_min_of_iid_survival_power;
+          Alcotest.test_case "n=1 identity" `Quick test_min_of_iid_identity;
+          Alcotest.test_case "invalid n" `Quick test_min_of_iid_invalid;
+          Alcotest.test_case "exponential rate scaling" `Quick test_min_of_iid_exponential_rate;
+        ] );
+      ( "empirical",
+        [
+          Alcotest.test_case "Section 4.3 ratio estimator" `Quick test_empirical_ratio_estimator;
+          Alcotest.test_case "quantiles are order statistics" `Quick
+            test_empirical_quantile_order_stats;
+          Alcotest.test_case "mean" `Quick test_empirical_mean;
+          Alcotest.test_case "sampling support" `Quick test_empirical_sampling_support;
+          Alcotest.test_case "age clamping" `Quick test_empirical_age_clamp;
+          Alcotest.test_case "discrete tlost" `Quick test_empirical_tlost_discrete;
+          Alcotest.test_case "invalid args" `Quick test_empirical_invalid;
+        ] );
+      ("properties", qcheck_cases);
+    ]

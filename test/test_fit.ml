@@ -1,0 +1,158 @@
+(* Tests for mixtures and maximum-likelihood fitting. *)
+
+module D = Ckpt_distributions.Distribution
+module Exponential = Ckpt_distributions.Exponential
+module Weibull = Ckpt_distributions.Weibull
+module Lognormal = Ckpt_distributions.Lognormal
+module Mixture = Ckpt_distributions.Mixture
+module Fit = Ckpt_distributions.Fit
+module Rng = Ckpt_prng.Rng
+
+let check = Alcotest.check
+let close ?(tol = 1e-9) msg expected actual =
+  Alcotest.check (Alcotest.float tol) msg expected actual
+
+let sample_n dist ~seed n =
+  let rng = Rng.create ~seed in
+  Array.init n (fun _ -> dist.D.sample rng)
+
+(* -- mixture ---------------------------------------------------------------- *)
+
+let two_exp =
+  Mixture.create [ (0.25, Exponential.create ~rate:1.); (0.75, Exponential.create ~rate:0.1) ]
+
+let test_mixture_mean () = close ~tol:1e-9 "weighted mean" ((0.25 *. 1.) +. (0.75 *. 10.)) two_exp.D.mean
+
+let test_mixture_survival () =
+  List.iter
+    (fun x ->
+      close ~tol:1e-12
+        (Printf.sprintf "S at %g" x)
+        ((0.25 *. exp (-.x)) +. (0.75 *. exp (-0.1 *. x)))
+        (D.survival two_exp x))
+    [ 0.5; 2.; 10.; 40. ]
+
+let test_mixture_weights_normalized () =
+  (* Weights 1 and 3 behave exactly like 0.25 and 0.75. *)
+  let m = Mixture.create [ (1., Exponential.create ~rate:1.); (3., Exponential.create ~rate:0.1) ] in
+  close ~tol:1e-12 "normalization" (D.survival two_exp 5.) (D.survival m 5.)
+
+let test_mixture_quantile_inverts () =
+  List.iter
+    (fun p -> close ~tol:1e-6 (Printf.sprintf "p=%g" p) p (D.cdf two_exp (two_exp.D.quantile p)))
+    [ 0.05; 0.3; 0.5; 0.9; 0.99 ]
+
+let test_mixture_sample_mean () =
+  let data = sample_n two_exp ~seed:5L 40_000 in
+  let mean = Array.fold_left ( +. ) 0. data /. 40_000. in
+  check Alcotest.bool (Printf.sprintf "sample mean %.2f" mean) true
+    (abs_float (mean -. two_exp.D.mean) < 0.2)
+
+let test_mixture_self_check () =
+  List.iter (fun (what, ok) -> check Alcotest.bool what true ok) (D.check two_exp)
+
+let test_mixture_invalid () =
+  Alcotest.check_raises "empty" (Invalid_argument "Mixture.create: empty mixture") (fun () ->
+      ignore (Mixture.create []));
+  Alcotest.check_raises "bad weight" (Invalid_argument "Mixture.create: non-positive weight")
+    (fun () -> ignore (Mixture.create [ (0., Exponential.create ~rate:1.) ]))
+
+(* -- fitting ------------------------------------------------------------------ *)
+
+let test_fit_exponential_recovers_rate () =
+  let data = sample_n (Exponential.create ~rate:0.002) ~seed:7L 20_000 in
+  let f = Fit.exponential data in
+  close ~tol:20. "mean recovered" 500. f.Fit.distribution.D.mean;
+  check Alcotest.bool "good KS" true (f.Fit.ks_statistic < 0.02)
+
+let test_fit_weibull_recovers_parameters () =
+  List.iter
+    (fun shape ->
+      let truth = Weibull.of_mtbf ~mtbf:1000. ~shape in
+      let data = sample_n truth ~seed:11L 20_000 in
+      let f = Fit.weibull data in
+      (* Recover the shape from the fitted hazard slope: fit name holds
+         scale/shape; compare via mean and a quantile ratio instead of
+         string parsing. *)
+      close ~tol:(1000. /. 25.) (Printf.sprintf "mean at k=%g" shape) 1000.
+        f.Fit.distribution.D.mean;
+      let q_truth = truth.D.quantile 0.9 /. truth.D.quantile 0.1 in
+      let q_fit = f.Fit.distribution.D.quantile 0.9 /. f.Fit.distribution.D.quantile 0.1 in
+      check Alcotest.bool
+        (Printf.sprintf "tail ratio %.1f ~ %.1f at k=%g" q_fit q_truth shape)
+        true
+        (abs_float (q_fit -. q_truth) /. q_truth < 0.1))
+    [ 0.5; 0.7; 1.5 ]
+
+let test_fit_lognormal_recovers_parameters () =
+  let truth = Lognormal.create ~mu:3. ~sigma:0.5 in
+  let data = sample_n truth ~seed:13L 20_000 in
+  let f = Fit.lognormal data in
+  close ~tol:(exp 3. /. 30.) "median = e^mu" (exp 3.) (f.Fit.distribution.D.quantile 0.5)
+
+let test_best_fit_selects_truth () =
+  (* Data generated from each family should be attributed to it (or at
+     worst to a near-equivalent) by AIC. *)
+  let weib = Weibull.of_mtbf ~mtbf:1000. ~shape:0.5 in
+  let data = sample_n weib ~seed:17L 10_000 in
+  let best = Fit.best_fit data in
+  let weib_fit = Fit.weibull data in
+  close ~tol:1e-9 "weibull wins on weibull data" weib_fit.Fit.aic best.Fit.aic;
+  let expo = Exponential.create ~rate:0.001 in
+  let data = sample_n expo ~seed:19L 10_000 in
+  let best = Fit.best_fit data in
+  (* Exponential is Weibull k=1: either may win, but the KS distance
+     must be tiny. *)
+  check Alcotest.bool "fits exponential data well" true (best.Fit.ks_statistic < 0.02)
+
+let test_ks_distance_detects_mismatch () =
+  let data = sample_n (Weibull.of_mtbf ~mtbf:1000. ~shape:0.4) ~seed:23L 5_000 in
+  let wrong = Fit.exponential data in
+  let right = Fit.weibull data in
+  check Alcotest.bool
+    (Printf.sprintf "exp KS %.3f >> weibull KS %.3f" wrong.Fit.ks_statistic
+       right.Fit.ks_statistic)
+    true
+    (wrong.Fit.ks_statistic > 3. *. right.Fit.ks_statistic)
+
+let test_fit_invalid () =
+  Alcotest.check_raises "empty" (Invalid_argument "Fit: empty sample") (fun () ->
+      ignore (Fit.exponential [||]));
+  Alcotest.check_raises "negative" (Invalid_argument "Fit: non-positive duration") (fun () ->
+      ignore (Fit.weibull [| 1.; 0. |]))
+
+let test_fit_lanl_synthetic_shape () =
+  (* The synthetic LANL logs should fit a heavy-tailed Weibull, like
+     the production data they imitate (shapes 0.33-0.49): the fitted
+     q90/q10 ratio must be far wider than an Exponential's (~22). *)
+  let lanl = Ckpt_failures.Lanl_synth.generate Ckpt_failures.Lanl_synth.cluster19_parameters in
+  let f = Fit.weibull lanl.Ckpt_failures.Failure_log.intervals in
+  let ratio = f.Fit.distribution.D.quantile 0.9 /. f.Fit.distribution.D.quantile 0.1 in
+  check Alcotest.bool
+    (Printf.sprintf "heavy-tailed fit (q90/q10 = %.0f)" ratio)
+    true (ratio > 50.)
+
+let () =
+  Alcotest.run "fit"
+    [
+      ( "mixture",
+        [
+          Alcotest.test_case "mean" `Quick test_mixture_mean;
+          Alcotest.test_case "survival" `Quick test_mixture_survival;
+          Alcotest.test_case "weight normalization" `Quick test_mixture_weights_normalized;
+          Alcotest.test_case "quantile inverts" `Quick test_mixture_quantile_inverts;
+          Alcotest.test_case "sample mean" `Quick test_mixture_sample_mean;
+          Alcotest.test_case "self check" `Quick test_mixture_self_check;
+          Alcotest.test_case "invalid" `Quick test_mixture_invalid;
+        ] );
+      ( "mle",
+        [
+          Alcotest.test_case "exponential" `Quick test_fit_exponential_recovers_rate;
+          Alcotest.test_case "weibull" `Quick test_fit_weibull_recovers_parameters;
+          Alcotest.test_case "lognormal" `Quick test_fit_lognormal_recovers_parameters;
+          Alcotest.test_case "best fit" `Quick test_best_fit_selects_truth;
+          Alcotest.test_case "KS detects mismatch" `Quick test_ks_distance_detects_mismatch;
+          Alcotest.test_case "invalid" `Quick test_fit_invalid;
+          Alcotest.test_case "lanl shape" `Quick test_fit_lanl_synthetic_shape;
+        ] );
+    ]

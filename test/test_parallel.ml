@@ -1,0 +1,76 @@
+(* Tests for the multicore work pool. *)
+
+module Domain_pool = Ckpt_parallel.Domain_pool
+
+let check = Alcotest.check
+
+exception Boom
+
+let test_matches_sequential () =
+  List.iter
+    (fun domains ->
+      List.iter
+        (fun n ->
+          let expected = Array.init n (fun i -> i * i) in
+          let actual = Domain_pool.parallel_init ~domains n (fun i -> i * i) in
+          check (Alcotest.array Alcotest.int)
+            (Printf.sprintf "n=%d domains=%d" n domains)
+            expected actual)
+        [ 0; 1; 2; 7; 100 ])
+    [ 1; 2; 4 ]
+
+let test_every_slot_once () =
+  let n = 1000 in
+  let hits = Array.make n 0 in
+  ignore
+    (Domain_pool.parallel_init ~domains:4 n (fun i ->
+         hits.(i) <- hits.(i) + 1;
+         i));
+  Array.iteri (fun i h -> check Alcotest.int (Printf.sprintf "slot %d" i) 1 h) hits
+
+let test_map_list_order () =
+  let out = Domain_pool.parallel_map_list ~domains:3 (fun x -> x * 10) [ 1; 2; 3; 4; 5 ] in
+  check (Alcotest.list Alcotest.int) "order preserved" [ 10; 20; 30; 40; 50 ] out
+
+let test_exception_propagates () =
+  List.iter
+    (fun domains ->
+      Alcotest.check_raises
+        (Printf.sprintf "raises with %d domains" domains)
+        Boom
+        (fun () ->
+          ignore
+            (Domain_pool.parallel_init ~domains 16 (fun i -> if i = 7 then raise Boom else i))))
+    [ 1; 3 ]
+
+let test_negative_size () =
+  Alcotest.check_raises "negative" (Invalid_argument "Domain_pool.parallel_init: negative size")
+    (fun () -> ignore (Domain_pool.parallel_init ~domains:2 (-1) (fun i -> i)))
+
+let test_recommended_env_override () =
+  Unix.putenv "CKPT_DOMAINS" "3";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "CKPT_DOMAINS" "")
+    (fun () -> check Alcotest.int "env override" 3 (Domain_pool.recommended_domains ()))
+
+let prop_matches_array_init =
+  QCheck2.Test.make ~name:"parallel_init = Array.init" ~count:50
+    QCheck2.Gen.(pair (int_range 0 200) (int_range 1 4))
+    (fun (n, domains) ->
+      Domain_pool.parallel_init ~domains n (fun i -> (i * 7) mod 13)
+      = Array.init n (fun i -> (i * 7) mod 13))
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "domain_pool",
+        [
+          Alcotest.test_case "matches sequential" `Quick test_matches_sequential;
+          Alcotest.test_case "every slot exactly once" `Quick test_every_slot_once;
+          Alcotest.test_case "map_list order" `Quick test_map_list_order;
+          Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "negative size" `Quick test_negative_size;
+          Alcotest.test_case "env override" `Quick test_recommended_env_override;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_matches_array_init ]);
+    ]

@@ -1,0 +1,158 @@
+(* Unit and property tests for the platform models. *)
+
+module Units = Ckpt_platform.Units
+module Overhead = Ckpt_platform.Overhead
+module Workload = Ckpt_platform.Workload
+module Machine = Ckpt_platform.Machine
+module Presets = Ckpt_platform.Presets
+
+let check = Alcotest.check
+let close ?(tol = 1e-9) msg expected actual =
+  Alcotest.check (Alcotest.float tol) msg expected actual
+
+(* -- units ------------------------------------------------------------------ *)
+
+let test_units_conversions () =
+  close "hour" 3600. Units.hour;
+  close "day" 86400. Units.day;
+  close "week" 604800. Units.week;
+  close "year" (365.25 *. 86400.) Units.year;
+  close "of_days" 172800. (Units.of_days 2.);
+  close "to_years round trip" 3.5 (Units.to_years (Units.of_years 3.5))
+
+let test_pp_duration () =
+  let render v = Format.asprintf "%a" Units.pp_duration v in
+  check Alcotest.string "seconds" "30.0 s" (render 30.);
+  check Alcotest.string "hours" "2.00 h" (render 7200.);
+  check Alcotest.string "days" "2.00 d" (render 172800.)
+
+(* -- overhead ---------------------------------------------------------------- *)
+
+let test_overhead_constant () =
+  let o = Overhead.constant 600. in
+  close "any p" 600. (Overhead.checkpoint_cost o ~processors:1);
+  close "any p" 600. (Overhead.checkpoint_cost o ~processors:45208);
+  close "recovery same" 600. (Overhead.recovery_cost o ~processors:7)
+
+let test_overhead_proportional () =
+  let o = Overhead.proportional ~cost_at:600. ~reference_processors:45208 in
+  close "full platform" 600. (Overhead.checkpoint_cost o ~processors:45208);
+  close "half platform doubles" 1200. (Overhead.checkpoint_cost o ~processors:22604)
+
+let test_overhead_invalid () =
+  Alcotest.check_raises "negative" (Invalid_argument "Overhead.constant: negative cost")
+    (fun () -> ignore (Overhead.constant (-1.)));
+  Alcotest.check_raises "zero processors"
+    (Invalid_argument "Overhead.checkpoint_cost: processors must be positive") (fun () ->
+      ignore (Overhead.checkpoint_cost (Overhead.constant 1.) ~processors:0))
+
+(* -- workload ----------------------------------------------------------------- *)
+
+let test_workload_embarrassingly_parallel () =
+  let w = Workload.create ~total_work:1000. ~model:Workload.Embarrassingly_parallel in
+  close "W/p" 125. (Workload.parallel_time w ~processors:8);
+  close "speedup" 8. (Workload.speedup w ~processors:8)
+
+let test_workload_amdahl () =
+  let w = Workload.create ~total_work:1000. ~model:(Workload.Amdahl 0.01) in
+  close "W/p + gW" 135. (Workload.parallel_time w ~processors:8);
+  check Alcotest.bool "speedup bounded by 1/gamma" true
+    (Workload.speedup w ~processors:1_000_000 < 100.)
+
+let test_workload_kernel () =
+  let w = Workload.create ~total_work:1000. ~model:(Workload.Numerical_kernel 2.) in
+  close ~tol:1e-6 "W/p + g W^(2/3)/sqrt p"
+    (125. +. (2. *. (1000. ** (2. /. 3.)) /. sqrt 8.))
+    (Workload.parallel_time w ~processors:8)
+
+let test_workload_invalid () =
+  Alcotest.check_raises "gamma >= 1"
+    (Invalid_argument "Workload.create: Amdahl gamma outside [0, 1)") (fun () ->
+      ignore (Workload.create ~total_work:1. ~model:(Workload.Amdahl 1.)));
+  Alcotest.check_raises "zero work" (Invalid_argument "Workload.create: total_work must be positive")
+    (fun () -> ignore (Workload.create ~total_work:0. ~model:Workload.Embarrassingly_parallel))
+
+let test_paper_models () =
+  check Alcotest.int "six models" 6 (List.length (Workload.all_paper_models ()))
+
+let prop_parallel_time_decreasing =
+  QCheck2.Test.make ~name:"W(p) decreases with p" ~count:300
+    QCheck2.Gen.(
+      triple
+        (oneofl
+           [ Workload.Embarrassingly_parallel; Workload.Amdahl 1e-4;
+             Workload.Numerical_kernel 1. ])
+        (int_range 1 10_000) (int_range 1 10_000))
+    (fun (model, p1, p2) ->
+      let w = Workload.create ~total_work:1e9 ~model in
+      let lo = min p1 p2 and hi = max p1 p2 in
+      Workload.parallel_time w ~processors:hi <= Workload.parallel_time w ~processors:lo +. 1e-6)
+
+(* -- machine ------------------------------------------------------------------- *)
+
+let test_machine_costs () =
+  let m =
+    Machine.create ~total_processors:1024 ~downtime:60.
+      ~overhead:(Overhead.proportional ~cost_at:600. ~reference_processors:1024)
+  in
+  close "C(p)" 1200. (Machine.checkpoint_cost m ~processors:512);
+  Alcotest.check_raises "too many processors"
+    (Invalid_argument "Machine: 2048 processors outside [1, 1024]") (fun () ->
+      ignore (Machine.checkpoint_cost m ~processors:2048))
+
+(* -- presets (Table 1) ----------------------------------------------------------- *)
+
+let test_presets_table1 () =
+  let one = Presets.one_processor ~mtbf:Units.hour in
+  close "1-proc W = 20 d" (Units.of_days 20.) one.Presets.total_work;
+  close "1-proc D" 60. one.Presets.machine.Machine.downtime;
+  let peta = Presets.petascale () in
+  check Alcotest.int "Jaguar size" 45208 peta.Presets.machine.Machine.total_processors;
+  close "peta W = 1000 y" (Units.of_years 1000.) peta.Presets.total_work;
+  close "peta MTBF = 125 y" (Units.of_years 125.) peta.Presets.processor_mtbf;
+  check Alcotest.bool "counts end at the full machine" true
+    (List.mem 45208 peta.Presets.job_processor_counts);
+  let exa = Presets.exascale () in
+  check Alcotest.int "2^20 processors" (1 lsl 20) exa.Presets.machine.Machine.total_processors;
+  close "exa W = 10000 y" (Units.of_years 10000.) exa.Presets.total_work;
+  close "exa MTBF = 1250 y" (Units.of_years 1250.) exa.Presets.processor_mtbf
+
+let test_presets_proportional_flag () =
+  let peta = Presets.petascale ~proportional_overhead:true () in
+  close "C at full machine" 600.
+    (Machine.checkpoint_cost peta.Presets.machine ~processors:45208);
+  check Alcotest.bool "higher cost at fewer processors" true
+    (Machine.checkpoint_cost peta.Presets.machine ~processors:1024 > 600.)
+
+let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_parallel_time_decreasing ]
+
+let () =
+  Alcotest.run "platform"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "conversions" `Quick test_units_conversions;
+          Alcotest.test_case "pp_duration" `Quick test_pp_duration;
+        ] );
+      ( "overhead",
+        [
+          Alcotest.test_case "constant" `Quick test_overhead_constant;
+          Alcotest.test_case "proportional" `Quick test_overhead_proportional;
+          Alcotest.test_case "invalid" `Quick test_overhead_invalid;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "embarrassingly parallel" `Quick test_workload_embarrassingly_parallel;
+          Alcotest.test_case "amdahl" `Quick test_workload_amdahl;
+          Alcotest.test_case "numerical kernel" `Quick test_workload_kernel;
+          Alcotest.test_case "invalid" `Quick test_workload_invalid;
+          Alcotest.test_case "paper models" `Quick test_paper_models;
+        ] );
+      ("machine", [ Alcotest.test_case "costs and validation" `Quick test_machine_costs ]);
+      ( "presets",
+        [
+          Alcotest.test_case "table 1 values" `Quick test_presets_table1;
+          Alcotest.test_case "proportional overhead" `Quick test_presets_proportional_flag;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,561 @@
+(* Engine algebra tests (hand-checked executions), simulator
+   invariants, evaluation methodology, period search and energy. *)
+
+module Engine = Ckpt_simulator.Engine
+module Scenario = Ckpt_simulator.Scenario
+module Evaluation = Ckpt_simulator.Evaluation
+module Period_search = Ckpt_simulator.Period_search
+module Energy = Ckpt_simulator.Energy
+module Policy = Ckpt_policies.Policy
+module Job = Ckpt_policies.Job
+module Trace = Ckpt_failures.Trace
+module Trace_set = Ckpt_failures.Trace_set
+module Machine = Ckpt_platform.Machine
+module Overhead = Ckpt_platform.Overhead
+module Exponential = Ckpt_distributions.Exponential
+
+let check = Alcotest.check
+let close ?(tol = 1e-6) msg expected actual =
+  Alcotest.check (Alcotest.float tol) msg expected actual
+
+(* A tiny deterministic setting: W = 1000 s, C = R = 100 s, D = 50 s. *)
+let tiny_job ?(processors = 1) () =
+  Job.create
+    ~dist:(Exponential.of_mtbf ~mtbf:5000.)
+    ~processors
+    ~machine:
+      (Machine.create ~total_processors:processors ~downtime:50.
+         ~overhead:(Overhead.constant 100.))
+    ~work_time:1000.
+
+let tiny_scenario ?(processors = 1) () =
+  Scenario.create ~horizon:1e6 ~start_time:0. (tiny_job ~processors ())
+
+let traces_of_failures ~units failures =
+  Trace_set.of_traces
+    (Array.init units (fun i ->
+         Trace.of_times ~horizon:1e6 (Array.of_list (List.assoc i failures))))
+
+let period600 = Policy.periodic "periodic-600" ~period:600.
+
+let run_metrics ?(processors = 1) ~failures policy =
+  let scenario = tiny_scenario ~processors () in
+  let traces = traces_of_failures ~units:processors failures in
+  match Engine.run ~scenario ~traces ~policy with
+  | Engine.Completed m -> m
+  | Engine.Policy_failed _ -> Alcotest.fail "unexpected policy failure"
+
+(* -- hand-checked executions ----------------------------------------------- *)
+
+let test_engine_no_failures () =
+  let m = run_metrics ~failures:[ (0, []) ] period600 in
+  (* Chunks 600 and 400, each plus C = 100. *)
+  close "makespan" 1200. m.Engine.makespan;
+  close "useful" 1000. m.Engine.useful_work;
+  close "checkpoint" 200. m.Engine.checkpoint_time;
+  close "no waste" 0. m.Engine.wasted_time;
+  check Alcotest.int "no failures" 0 m.Engine.failures;
+  check Alcotest.int "two chunks" 2 m.Engine.chunks;
+  close "min chunk" 400. m.Engine.min_chunk;
+  close "max chunk" 600. m.Engine.max_chunk
+
+let test_engine_single_failure_mid_chunk () =
+  (* Failure at t = 300 during the first chunk (0..700):
+     waste 300, downtime 50, recovery 100, then 700 + 500. *)
+  let m = run_metrics ~failures:[ (0, [ 300. ]) ] period600 in
+  close "makespan" 1650. m.Engine.makespan;
+  close "wasted" 300. m.Engine.wasted_time;
+  close "stall" 50. m.Engine.stall_time;
+  close "recovery" 100. m.Engine.recovery_time;
+  close "useful" 1000. m.Engine.useful_work;
+  check Alcotest.int "one failure" 1 m.Engine.failures
+
+let test_engine_failure_during_checkpoint () =
+  (* Failure at t = 650 hits the checkpoint of the first chunk. *)
+  let m = run_metrics ~failures:[ (0, [ 650. ]) ] period600 in
+  close "wasted includes partial checkpoint" 650. m.Engine.wasted_time;
+  close "makespan" (650. +. 50. +. 100. +. 700. +. 500.) m.Engine.makespan
+
+let test_engine_failure_at_commit_instant () =
+  (* A failure at exactly t = 700 does not destroy the checkpoint that
+     commits at 700; it strikes the next attempt at zero cost. *)
+  let m = run_metrics ~failures:[ (0, [ 700. ]) ] period600 in
+  close "nothing wasted" 0. m.Engine.wasted_time;
+  close "makespan" (700. +. 50. +. 100. +. 500.) m.Engine.makespan;
+  check Alcotest.int "one failure" 1 m.Engine.failures
+
+let test_engine_failure_during_recovery () =
+  (* Failures at 300 and 400: the second interrupts the recovery that
+     started at 350. *)
+  let m = run_metrics ~failures:[ (0, [ 300.; 400. ]) ] period600 in
+  check Alcotest.int "two failures" 2 m.Engine.failures;
+  close "wasted" 300. m.Engine.wasted_time;
+  close "stall" 100. m.Engine.stall_time;
+  close "recovery (interrupted + complete)" 150. m.Engine.recovery_time;
+  close "makespan" 1750. m.Engine.makespan
+
+let test_engine_own_downtime_absorbs () =
+  (* The processor's own failure at 320 falls inside its downtime
+     [300, 350): absorbed, identical to a single failure at 300. *)
+  let m = run_metrics ~failures:[ (0, [ 300.; 320. ]) ] period600 in
+  check Alcotest.int "one effective failure" 1 m.Engine.failures;
+  close "makespan" 1650. m.Engine.makespan
+
+let test_engine_cascading_downtime () =
+  (* Two units; unit 1 fails at 330 while unit 0 is down [300, 350):
+     the platform is whole again only at 380. *)
+  let m = run_metrics ~processors:2 ~failures:[ (0, [ 300. ]); (1, [ 330. ]) ] period600 in
+  check Alcotest.int "two failures" 2 m.Engine.failures;
+  close "stall to the latest downtime" 80. m.Engine.stall_time;
+  close "makespan" 1680. m.Engine.makespan
+
+let test_engine_grouped_units_equivalent () =
+  (* A 4-processor job whose failures strike whole 4-processor nodes
+     behaves exactly like a 1-processor job with the same work and the
+     same (single-unit) trace: grouping only changes the C(p) scaling,
+     which is constant here. *)
+  let grouped = Job.with_group_size (tiny_job ~processors:4 ()) 4 in
+  let scenario_grouped = Scenario.create ~horizon:1e6 ~start_time:0. grouped in
+  let scenario_single = tiny_scenario () in
+  let traces = traces_of_failures ~units:1 [ (0, [ 300.; 1900. ]) ] in
+  let a = Engine.run ~scenario:scenario_grouped ~traces ~policy:period600 in
+  let b = Engine.run ~scenario:scenario_single ~traces ~policy:period600 in
+  check Alcotest.bool "identical executions" true (a = b)
+
+let test_engine_policy_failed () =
+  let declining = Policy.stateless "no" (fun _ -> None) in
+  let scenario = tiny_scenario () in
+  let traces = traces_of_failures ~units:1 [ (0, []) ] in
+  match Engine.run ~scenario ~traces ~policy:declining with
+  | Engine.Policy_failed { at_time; remaining } ->
+      close "at start" 0. at_time;
+      close "nothing done" 1000. remaining
+  | Engine.Completed _ -> Alcotest.fail "expected Policy_failed"
+
+let test_engine_zero_chunk_policy_terminates () =
+  (* A degenerate policy proposing zero-size chunks must not loop: the
+     engine coerces the proposal to the full remaining work. *)
+  let zero = Policy.stateless "zero" (fun _ -> Some 0.) in
+  let m = run_metrics ~failures:[ (0, []) ] zero in
+  close "single coerced chunk" 1100. m.Engine.makespan;
+  check Alcotest.int "one chunk" 1 m.Engine.chunks
+
+let test_engine_oversized_chunk_clamped () =
+  let greedy = Policy.stateless "greedy" (fun _ -> Some 1e12) in
+  let m = run_metrics ~failures:[ (0, []) ] greedy in
+  close "clamped to the work" 1100. m.Engine.makespan
+
+let test_engine_deterministic () =
+  let scenario = tiny_scenario () in
+  let traces = traces_of_failures ~units:1 [ (0, [ 123.; 2345. ]) ] in
+  let m1 = Engine.run ~scenario ~traces ~policy:period600 in
+  let m2 = Engine.run ~scenario ~traces ~policy:period600 in
+  check Alcotest.bool "identical outcomes" true (m1 = m2)
+
+(* -- lower bound -------------------------------------------------------------- *)
+
+let test_lower_bound_no_failures () =
+  let scenario = tiny_scenario () in
+  let traces = traces_of_failures ~units:1 [ (0, []) ] in
+  let m = Engine.lower_bound ~scenario ~traces in
+  close "one chunk + C" 1100. m.Engine.makespan;
+  check Alcotest.int "single chunk" 1 m.Engine.chunks
+
+let test_lower_bound_just_in_time () =
+  (* Failure at 300: save 200 s of work with the checkpoint committing
+     exactly at the failure, then downtime + recovery + the rest. *)
+  let scenario = tiny_scenario () in
+  let traces = traces_of_failures ~units:1 [ (0, [ 300. ]) ] in
+  let m = Engine.lower_bound ~scenario ~traces in
+  close "no execution wasted" 0. m.Engine.wasted_time;
+  close "makespan" (300. +. 50. +. 100. +. 800. +. 100.) m.Engine.makespan
+
+let test_lower_bound_idle_when_too_close () =
+  (* Failure at 60 < C: nothing can be saved; idle until it strikes. *)
+  let scenario = tiny_scenario () in
+  let traces = traces_of_failures ~units:1 [ (0, [ 60. ]) ] in
+  let m = Engine.lower_bound ~scenario ~traces in
+  close "idle time wasted" 60. m.Engine.wasted_time;
+  close "makespan" (60. +. 50. +. 100. +. 1000. +. 100.) m.Engine.makespan
+
+let test_lower_bound_beats_policies () =
+  let job =
+    Job.create
+      ~dist:(Exponential.of_mtbf ~mtbf:3000.)
+      ~processors:4
+      ~machine:
+        (Machine.create ~total_processors:4 ~downtime:50. ~overhead:(Overhead.constant 100.))
+      ~work_time:20_000.
+  in
+  let scenario = Scenario.create ~horizon:1e7 ~start_time:0. job in
+  for replicate = 0 to 9 do
+    let traces = Scenario.traces scenario ~replicate in
+    let lb = Engine.lower_bound ~scenario ~traces in
+    List.iter
+      (fun period ->
+        match Engine.run ~scenario ~traces ~policy:(Policy.periodic "p" ~period) with
+        | Engine.Completed m ->
+            check Alcotest.bool
+              (Printf.sprintf "lb %.0f <= %.0f (T=%g, r=%d)" lb.Engine.makespan
+                 m.Engine.makespan period replicate)
+              true
+              (lb.Engine.makespan <= m.Engine.makespan +. 1e-6)
+        | Engine.Policy_failed _ -> Alcotest.fail "periodic cannot fail")
+      [ 300.; 1000.; 5000. ]
+  done
+
+(* -- invariants (property) ------------------------------------------------------ *)
+
+let prop_metrics_partition =
+  QCheck2.Test.make ~name:"makespan = useful + C + wasted + recovery + stall" ~count:60
+    QCheck2.Gen.(pair (int_range 0 10_000) (float_range 200. 3000.))
+    (fun (replicate, period) ->
+      let scenario =
+        Scenario.create ~horizon:1e7 ~start_time:0.
+          (Job.create
+             ~dist:(Exponential.of_mtbf ~mtbf:2500.)
+             ~processors:2
+             ~machine:
+               (Machine.create ~total_processors:2 ~downtime:40.
+                  ~overhead:(Overhead.constant 120.))
+             ~work_time:15_000.)
+      in
+      let traces = Scenario.traces scenario ~replicate in
+      match Engine.run ~scenario ~traces ~policy:(Policy.periodic "p" ~period) with
+      | Engine.Completed m ->
+          let parts =
+            m.Engine.useful_work +. m.Engine.checkpoint_time +. m.Engine.wasted_time
+            +. m.Engine.recovery_time +. m.Engine.stall_time
+          in
+          abs_float (m.Engine.makespan -. parts) < 1e-6 *. m.Engine.makespan
+          && abs_float (m.Engine.useful_work -. 15_000.) < 1e-6
+      | Engine.Policy_failed _ -> false)
+
+(* -- scenario --------------------------------------------------------------------- *)
+
+let test_scenario_defaults () =
+  let single = Scenario.create (tiny_job ()) in
+  close ~tol:1. "1-proc horizon 1 y" (365.25 *. 86400.) single.Scenario.horizon;
+  close "1-proc starts at 0" 0. single.Scenario.start_time;
+  let parallel = Scenario.create (tiny_job ~processors:4 ()) in
+  close ~tol:1. "parallel horizon 11 y" (11. *. 365.25 *. 86400.) parallel.Scenario.horizon;
+  close ~tol:1. "parallel starts at 1 y" (365.25 *. 86400.) parallel.Scenario.start_time
+
+let test_scenario_invalid () =
+  Alcotest.check_raises "start past horizon"
+    (Invalid_argument "Scenario.create: start_time outside [0, horizon)") (fun () ->
+      ignore (Scenario.create ~horizon:10. ~start_time:10. (tiny_job ())))
+
+let test_scenario_grouped_traces () =
+  let job = Job.with_group_size (tiny_job ~processors:8 ()) 4 in
+  let scenario = Scenario.create ~horizon:1e6 ~start_time:0. job in
+  let traces = Scenario.traces scenario ~replicate:0 in
+  check Alcotest.int "one trace per node" 2 (Trace_set.processors traces)
+
+let test_initial_lifetime_starts () =
+  let scenario = Scenario.create ~horizon:1e6 ~start_time:500. (tiny_job ()) in
+  let traces = traces_of_failures ~units:1 [ (0, [ 100.; 400.; 800. ]) ] in
+  let starts = Scenario.initial_lifetime_starts scenario traces in
+  (* Last failure before 500 is 400; lifetime restarts after the
+     downtime D = 50. *)
+  close "last failure + D" 450. starts.(0);
+  let fresh = Scenario.initial_lifetime_starts scenario (traces_of_failures ~units:1 [ (0, []) ]) in
+  close "never failed" 0. fresh.(0)
+
+(* -- evaluation ---------------------------------------------------------------------- *)
+
+let eval_scenario () =
+  Scenario.create ~horizon:1e7 ~start_time:0.
+    (Job.create
+       ~dist:(Exponential.of_mtbf ~mtbf:4000.)
+       ~processors:1
+       ~machine:
+         (Machine.create ~total_processors:1 ~downtime:50. ~overhead:(Overhead.constant 100.))
+       ~work_time:20_000.)
+
+let test_evaluation_degradations () =
+  let scenario = eval_scenario () in
+  let policies =
+    [ Policy.periodic "a" ~period:900.; Policy.periodic "b" ~period:2000.;
+      Policy.periodic "c" ~period:8000. ]
+  in
+  let table = Evaluation.degradation_table ~scenario ~policies ~replicates:10 in
+  check Alcotest.int "usable" 10 table.Evaluation.usable_replicates;
+  List.iter
+    (fun r ->
+      check Alcotest.int (r.Evaluation.policy_name ^ " ran everywhere") 10
+        r.Evaluation.successes;
+      check Alcotest.bool
+        (Printf.sprintf "%s degradation %.3f >= 1" r.Evaluation.policy_name
+           r.Evaluation.average_degradation)
+        true
+        (r.Evaluation.average_degradation >= 1. -. 1e-9))
+    table.Evaluation.results;
+  check Alcotest.bool "lower bound <= 1" true
+    (table.Evaluation.lower_bound.Evaluation.average_degradation <= 1. +. 1e-9)
+
+let test_evaluation_failed_policy_excluded () =
+  let scenario = eval_scenario () in
+  let policies = [ Policy.periodic "ok" ~period:1000.; Policy.stateless "no" (fun _ -> None) ] in
+  let table = Evaluation.degradation_table ~scenario ~policies ~replicates:4 in
+  let failed = List.nth table.Evaluation.results 1 in
+  check Alcotest.int "no successes" 0 failed.Evaluation.successes;
+  let ok = List.nth table.Evaluation.results 0 in
+  close ~tol:1e-9 "sole policy defines the best" 1. ok.Evaluation.average_degradation
+
+let test_average_makespan () =
+  let scenario = eval_scenario () in
+  match Evaluation.average_makespan ~scenario ~policy:(Policy.periodic "p" ~period:1000.)
+          ~replicates:5
+  with
+  | Some m -> check Alcotest.bool "at least the work" true (m >= 20_000.)
+  | None -> Alcotest.fail "periodic always completes"
+
+let test_evaluation_invalid () =
+  Alcotest.check_raises "no policies"
+    (Invalid_argument "Evaluation.degradation_table: no policies") (fun () ->
+      ignore (Evaluation.degradation_table ~scenario:(eval_scenario ()) ~policies:[] ~replicates:1))
+
+(* -- period search -------------------------------------------------------------------- *)
+
+let test_default_factors () =
+  let factors = Period_search.default_factors () in
+  check Alcotest.bool "all positive" true (List.for_all (fun f -> f > 0.) factors);
+  check Alcotest.bool "sorted" true (List.sort compare factors = factors);
+  check Alcotest.bool "covers an order of magnitude both ways" true
+    (List.hd factors < 0.1 && List.nth factors (List.length factors - 1) > 10.)
+
+let test_best_period_sane () =
+  let scenario = eval_scenario () in
+  let period, score =
+    Period_search.best_period ~factors:[ 0.25; 1.; 4. ] ~tuning_replicates:4 ~scenario
+      ~base_period:1000. ()
+  in
+  check Alcotest.bool "one of the candidates" true
+    (List.exists (fun f -> abs_float (period -. (1000. *. f)) < 1e-6) [ 0.25; 1.; 4. ]);
+  check Alcotest.bool "score finite" true (Float.is_finite score)
+
+let test_sweep () =
+  let scenario = eval_scenario () in
+  let rows = Period_search.sweep ~scenario ~periods:[ 500.; 1000. ] ~replicates:3 in
+  check Alcotest.int "two rows" 2 (List.length rows);
+  List.iter
+    (fun (_, m) ->
+      match m with
+      | Some v -> check Alcotest.bool "finite" true (Float.is_finite v)
+      | None -> Alcotest.fail "periodic always completes")
+    rows
+
+(* -- significance --------------------------------------------------------------------- *)
+
+module Significance = Ckpt_simulator.Significance
+
+let test_binomial_p_values () =
+  close ~tol:1e-9 "0/10 split" (2. /. 1024.) (Significance.binomial_two_sided_p ~wins:0 ~losses:10);
+  close ~tol:1e-9 "3/7 split" (2. *. 176. /. 1024.)
+    (Significance.binomial_two_sided_p ~wins:3 ~losses:7);
+  close ~tol:1e-9 "even split capped at 1" 1.
+    (Significance.binomial_two_sided_p ~wins:5 ~losses:5);
+  close ~tol:1e-9 "no data" 1. (Significance.binomial_two_sided_p ~wins:0 ~losses:0)
+
+let test_compare_policies_detects_dominance () =
+  (* A sane period against a period twenty times the platform MTBF:
+     the former must win essentially every paired trace. *)
+  let scenario = eval_scenario () in
+  let good = Policy.periodic "good" ~period:900. in
+  let awful = Policy.periodic "awful" ~period:80_000. in
+  let c = Significance.compare_policies ~scenario ~a:good ~b:awful ~replicates:12 in
+  check Alcotest.int "all pairs usable" 12 c.Significance.paired_runs;
+  check Alcotest.bool
+    (Printf.sprintf "good wins %d/12" c.Significance.a_wins)
+    true
+    (c.Significance.a_wins >= 11);
+  check Alcotest.bool "ratio below 1" true (c.Significance.mean_ratio < 1.);
+  check Alcotest.bool
+    (Printf.sprintf "significant (p = %.4f)" c.Significance.sign_test_p)
+    true
+    (c.Significance.sign_test_p < 0.01)
+
+let test_compare_policy_with_itself () =
+  let scenario = eval_scenario () in
+  let p = Policy.periodic "p" ~period:1000. in
+  let c = Significance.compare_policies ~scenario ~a:p ~b:p ~replicates:5 in
+  check Alcotest.int "all ties" 5 c.Significance.ties;
+  close ~tol:1e-9 "p = 1" 1. c.Significance.sign_test_p;
+  close ~tol:1e-9 "ratio 1" 1. c.Significance.mean_ratio
+
+(* -- energy -------------------------------------------------------------------------- *)
+
+let test_energy_of_metrics () =
+  let m = run_metrics ~failures:[ (0, [ 300. ]) ] period600 in
+  let power = Energy.create ~compute:100. ~io:10. ~idle:1. in
+  (* useful 1000 + wasted 300 computing, 200 + 100 I/O, 50 stalled. *)
+  close "joules"
+    ((100. *. 1300.) +. (10. *. 300.) +. (1. *. 50.))
+    (Energy.of_metrics power ~processors:1 m);
+  close "scales with processors"
+    (2. *. Energy.of_metrics power ~processors:1 m)
+    (Energy.of_metrics power ~processors:2 m)
+
+let test_energy_invalid () =
+  Alcotest.check_raises "negative power" (Invalid_argument "Energy.create: negative power")
+    (fun () -> ignore (Energy.create ~compute:(-1.) ~io:0. ~idle:0.))
+
+let test_energy_tradeoff_rows () =
+  let scenario = eval_scenario () in
+  let rows =
+    Energy.makespan_energy_tradeoff ~scenario ~power:Energy.default_power
+      ~periods:[ 500.; 2000. ] ~replicates:3
+  in
+  check Alcotest.int "row per period" 2 (List.length rows);
+  List.iter
+    (fun (_, m, e) -> check Alcotest.bool "positive" true (m > 0. && e > 0.))
+    rows
+
+(* -- theory vs simulation --------------------------------------------------- *)
+
+let test_simulated_optexp_matches_theorem1 () =
+  (* The strongest end-to-end check: the engine's mean makespan under
+     the optimal periodic policy must reproduce Theorem 1's closed
+     form (1 processor, Exponential, MTBF 1 day, W = 20 days). *)
+  let mtbf = 86400. in
+  let work = 20. *. 86400. in
+  let job =
+    Job.create
+      ~dist:(Exponential.of_mtbf ~mtbf)
+      ~processors:1
+      ~machine:
+        (Machine.create ~total_processors:1 ~downtime:60. ~overhead:(Overhead.constant 600.))
+      ~work_time:work
+  in
+  let scenario = Scenario.create ~horizon:1e9 ~start_time:0. job in
+  let policy = Ckpt_policies.Optexp.policy job in
+  let n = 60 in
+  let acc = ref 0. in
+  for replicate = 0 to n - 1 do
+    let traces = Scenario.traces scenario ~replicate in
+    match Engine.run ~scenario ~traces ~policy with
+    | Engine.Completed m -> acc := !acc +. m.Engine.makespan
+    | Engine.Policy_failed _ -> Alcotest.fail "periodic cannot fail"
+  done;
+  let simulated = !acc /. float_of_int n in
+  let theory =
+    Ckpt_core.Theory.optimal_expected_makespan ~rate:(1. /. mtbf) ~work ~checkpoint:600.
+      ~recovery:600. ~downtime:60.
+  in
+  check Alcotest.bool
+    (Printf.sprintf "simulated %.0f within 2%% of theory %.0f" simulated theory)
+    true
+    (abs_float (simulated -. theory) /. theory < 0.02)
+
+(* -- progress-dependent costs (conclusion extension) ----------------------- *)
+
+let test_cost_profile_constant_matches_run () =
+  (* A profile that always returns the job's constant costs must
+     reproduce Engine.run exactly. *)
+  let scenario = tiny_scenario () in
+  let traces = traces_of_failures ~units:1 [ (0, [ 300.; 1900. ]) ] in
+  let a = Engine.run ~scenario ~traces ~policy:period600 in
+  let b =
+    Engine.run_with_cost_profile
+      ~cost_profile:(fun ~progress:_ -> (100., 100.))
+      ~scenario ~traces ~policy:period600
+  in
+  check Alcotest.bool "identical" true (a = b)
+
+let test_cost_profile_growing_cost () =
+  (* C doubles at the end: with W = 1000 and period 600, the first
+     checkpoint lands at progress 0.6 and the second at 1.0. *)
+  let scenario = tiny_scenario () in
+  let traces = traces_of_failures ~units:1 [ (0, []) ] in
+  let profile ~progress = ((if progress >= 1. then 200. else 100.), 100.) in
+  match Engine.run_with_cost_profile ~cost_profile:profile ~scenario ~traces ~policy:period600 with
+  | Engine.Completed m ->
+      close "checkpoint time reflects the profile" 300. m.Engine.checkpoint_time;
+      close "makespan" 1300. m.Engine.makespan
+  | Engine.Policy_failed _ -> Alcotest.fail "cannot fail"
+
+let test_cost_profile_recovery_cost () =
+  (* Failure at 300 with nothing committed: recovery is charged at
+     progress 0, where the profile makes it 500. *)
+  let scenario = tiny_scenario () in
+  let traces = traces_of_failures ~units:1 [ (0, [ 300. ]) ] in
+  let profile ~progress = (100., if progress <= 0. then 500. else 100.) in
+  match Engine.run_with_cost_profile ~cost_profile:profile ~scenario ~traces ~policy:period600 with
+  | Engine.Completed m ->
+      close "expensive early recovery" 500. m.Engine.recovery_time;
+      close "makespan" (300. +. 50. +. 500. +. 700. +. 500.) m.Engine.makespan
+  | Engine.Policy_failed _ -> Alcotest.fail "cannot fail"
+
+let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_metrics_partition ]
+
+let () =
+  Alcotest.run "simulator"
+    [
+      ( "engine algebra",
+        [
+          Alcotest.test_case "no failures" `Quick test_engine_no_failures;
+          Alcotest.test_case "failure mid-chunk" `Quick test_engine_single_failure_mid_chunk;
+          Alcotest.test_case "failure during checkpoint" `Quick test_engine_failure_during_checkpoint;
+          Alcotest.test_case "failure at commit instant" `Quick test_engine_failure_at_commit_instant;
+          Alcotest.test_case "failure during recovery" `Quick test_engine_failure_during_recovery;
+          Alcotest.test_case "own downtime absorbs" `Quick test_engine_own_downtime_absorbs;
+          Alcotest.test_case "cascading downtimes" `Quick test_engine_cascading_downtime;
+          Alcotest.test_case "grouped units equivalent" `Quick test_engine_grouped_units_equivalent;
+          Alcotest.test_case "policy failure outcome" `Quick test_engine_policy_failed;
+          Alcotest.test_case "zero chunks terminate" `Quick test_engine_zero_chunk_policy_terminates;
+          Alcotest.test_case "oversized chunk clamped" `Quick test_engine_oversized_chunk_clamped;
+          Alcotest.test_case "deterministic" `Quick test_engine_deterministic;
+        ] );
+      ( "lower bound",
+        [
+          Alcotest.test_case "no failures" `Quick test_lower_bound_no_failures;
+          Alcotest.test_case "just-in-time checkpoint" `Quick test_lower_bound_just_in_time;
+          Alcotest.test_case "idles when too close" `Quick test_lower_bound_idle_when_too_close;
+          Alcotest.test_case "beats every policy" `Quick test_lower_bound_beats_policies;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "defaults" `Quick test_scenario_defaults;
+          Alcotest.test_case "invalid" `Quick test_scenario_invalid;
+          Alcotest.test_case "grouped traces" `Quick test_scenario_grouped_traces;
+          Alcotest.test_case "initial lifetimes" `Quick test_initial_lifetime_starts;
+        ] );
+      ( "evaluation",
+        [
+          Alcotest.test_case "degradations >= 1" `Quick test_evaluation_degradations;
+          Alcotest.test_case "failed policy excluded" `Quick test_evaluation_failed_policy_excluded;
+          Alcotest.test_case "average makespan" `Quick test_average_makespan;
+          Alcotest.test_case "invalid" `Quick test_evaluation_invalid;
+        ] );
+      ( "period search",
+        [
+          Alcotest.test_case "default factors" `Quick test_default_factors;
+          Alcotest.test_case "best period" `Quick test_best_period_sane;
+          Alcotest.test_case "sweep" `Quick test_sweep;
+        ] );
+      ( "theory vs simulation",
+        [
+          Alcotest.test_case "OptExp reproduces Theorem 1" `Quick
+            test_simulated_optexp_matches_theorem1;
+        ] );
+      ( "cost profile",
+        [
+          Alcotest.test_case "constant profile = run" `Quick test_cost_profile_constant_matches_run;
+          Alcotest.test_case "growing checkpoint cost" `Quick test_cost_profile_growing_cost;
+          Alcotest.test_case "recovery cost at progress" `Quick test_cost_profile_recovery_cost;
+        ] );
+      ( "significance",
+        [
+          Alcotest.test_case "binomial p-values" `Quick test_binomial_p_values;
+          Alcotest.test_case "detects dominance" `Quick test_compare_policies_detects_dominance;
+          Alcotest.test_case "self comparison" `Quick test_compare_policy_with_itself;
+        ] );
+      ( "energy",
+        [
+          Alcotest.test_case "of_metrics" `Quick test_energy_of_metrics;
+          Alcotest.test_case "invalid" `Quick test_energy_invalid;
+          Alcotest.test_case "tradeoff rows" `Quick test_energy_tradeoff_rows;
+        ] );
+      ("properties", qcheck_cases);
+    ]
