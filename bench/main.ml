@@ -1,6 +1,6 @@
 (* Benchmark harness.
 
-   Two stages:
+   Three stages:
 
    1. Regenerate every paper table and figure (scaled-down replicate
       counts; control with CKPT_TRACES / CKPT_FULL), printing the same
@@ -9,7 +9,12 @@
    2. A Bechamel micro-benchmark suite: one Test.make per paper
       artifact, timing the computational kernel that artifact leans on
       (plus the core simulator/DP kernels), at miniature scale so the
-      whole suite completes in seconds.  Skip with CKPT_SKIP_MICRO=1. *)
+      whole suite completes in seconds.  Skip with CKPT_SKIP_MICRO=1.
+
+   3. An evaluation-throughput benchmark (replicates/second of
+      [Evaluation.degradation_table] on a small Weibull table, serial
+      vs parallel), written to BENCH_eval.json so successive PRs can
+      track the trajectory.  Skip with CKPT_SKIP_EVAL_BENCH=1. *)
 
 open Bechamel
 open Toolkit
@@ -258,7 +263,75 @@ let run_micro () =
       img (window, results) |> eol |> output_image)
     [ artifact_tests; kernel_tests ]
 
+(* -- stage 3: evaluation throughput ----------------------------------------- *)
+
+let with_domains n f =
+  let previous = Sys.getenv_opt "CKPT_DOMAINS" in
+  Unix.putenv "CKPT_DOMAINS" (string_of_int n);
+  Fun.protect f ~finally:(fun () ->
+      Unix.putenv "CKPT_DOMAINS" (match previous with Some v -> v | None -> ""))
+
+let eval_bench_replicates = 64
+
+(* Big enough that a replicate costs tens of milliseconds (trace
+   generation + three policy runs + the omniscient bound), so the
+   domain fan-out dominates its startup cost on multicore hosts. *)
+let eval_bench_processors = 16384
+
+(* One timed table.  A fresh scenario per measurement keeps the
+   trace-set cache cold, so serial and parallel runs do the same
+   work. *)
+let timed_eval_table ~domains =
+  let job = mini_job ~dist:weibull ~processors:eval_bench_processors in
+  let scenario = S.Scenario.create job in
+  let policies = [ Po.Young.policy job; Po.Daly.high job; Po.Optexp.policy job ] in
+  with_domains domains (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let table =
+        S.Evaluation.degradation_table ~scenario ~policies ~replicates:eval_bench_replicates
+      in
+      (table, Unix.gettimeofday () -. t0))
+
+let run_eval_bench () =
+  Printf.printf
+    "\n=== Evaluation throughput (%d-replicate Weibull table, %d processors) ===\n%!"
+    eval_bench_replicates eval_bench_processors;
+  let domains = Ckpt_parallel.Domain_pool.recommended_domains () in
+  let serial_table, serial_s = timed_eval_table ~domains:1 in
+  let parallel_table, parallel_s = timed_eval_table ~domains in
+  let throughput s = float_of_int eval_bench_replicates /. s in
+  let speedup = serial_s /. parallel_s in
+  Printf.printf "serial   (1 domain):   %7.2f s  %7.2f replicates/s\n" serial_s
+    (throughput serial_s);
+  Printf.printf "parallel (%d domains): %7.2f s  %7.2f replicates/s  (speedup %.2fx)\n" domains
+    parallel_s (throughput parallel_s) speedup;
+  Printf.printf "deterministic: %s\n%!"
+    (if serial_table = parallel_table then "parallel table == serial table"
+     else "MISMATCH between serial and parallel tables");
+  if serial_table <> parallel_table then exit 1;
+  let oc = open_out "BENCH_eval.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"evaluation-throughput\",\n\
+    \  \"replicates\": %d,\n\
+    \  \"processors\": %d,\n\
+    \  \"policies\": 3,\n\
+    \  \"distribution\": \"weibull(k=0.7)\",\n\
+    \  \"domains\": %d,\n\
+    \  \"serial_seconds\": %.6f,\n\
+    \  \"parallel_seconds\": %.6f,\n\
+    \  \"serial_replicates_per_sec\": %.3f,\n\
+    \  \"parallel_replicates_per_sec\": %.3f,\n\
+    \  \"speedup\": %.3f,\n\
+    \  \"deterministic\": true\n\
+     }\n"
+    eval_bench_replicates eval_bench_processors domains serial_s parallel_s
+    (throughput serial_s) (throughput parallel_s) speedup;
+  close_out oc;
+  Printf.printf "wrote BENCH_eval.json\n%!"
+
 let () =
   let skip name = Sys.getenv_opt name = Some "1" in
   if not (skip "CKPT_SKIP_EXPERIMENTS") then run_experiments ();
-  if not (skip "CKPT_SKIP_MICRO") then run_micro ()
+  if not (skip "CKPT_SKIP_MICRO") then run_micro ();
+  if not (skip "CKPT_SKIP_EVAL_BENCH") then run_eval_bench ()

@@ -82,11 +82,17 @@ let csv_of_table table =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
     "policy,avg_degradation,std_degradation,avg_makespan_s,successes,avg_failures,max_failures\n";
+  (* Undefined cells (policy never completed, or a single run with no
+     defined deviation) stay empty, as in [csv_of_series]. *)
+  let cell v = if Float.is_nan v then "" else Printf.sprintf "%g" v in
   let row (r : Evaluation.policy_result) =
     Buffer.add_string buf
-      (Printf.sprintf "%s,%g,%g,%g,%d,%g,%d\n" r.Evaluation.policy_name
-         r.Evaluation.average_degradation r.Evaluation.std_degradation
-         r.Evaluation.average_makespan r.Evaluation.successes r.Evaluation.average_failures
+      (Printf.sprintf "%s,%s,%s,%s,%d,%s,%d\n" r.Evaluation.policy_name
+         (cell r.Evaluation.average_degradation)
+         (cell r.Evaluation.std_degradation)
+         (cell r.Evaluation.average_makespan)
+         r.Evaluation.successes
+         (cell r.Evaluation.average_failures)
          r.Evaluation.max_failures)
   in
   row table.Evaluation.lower_bound;

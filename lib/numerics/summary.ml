@@ -16,6 +16,25 @@ let add t x =
   { count; mean; m2; min_v = Float.min t.min_v x; max_v = Float.max t.max_v x }
 
 let add_all t xs = List.fold_left add t xs
+
+(* Chan et al.'s pairwise update: combine two Welford accumulators as
+   if their observations had been seen in one pass. *)
+let merge a b =
+  if a.count = 0 then b
+  else if b.count = 0 then a
+  else begin
+    let na = float_of_int a.count and nb = float_of_int b.count in
+    let count = a.count + b.count in
+    let n = float_of_int count in
+    let delta = b.mean -. a.mean in
+    {
+      count;
+      mean = a.mean +. (delta *. nb /. n);
+      m2 = a.m2 +. b.m2 +. (delta *. delta *. na *. nb /. n);
+      min_v = Float.min a.min_v b.min_v;
+      max_v = Float.max a.max_v b.max_v;
+    }
+  end
 let count t = t.count
 let mean t = if t.count = 0 then nan else t.mean
 let variance t = if t.count < 2 then nan else t.m2 /. float_of_int (t.count - 1)

@@ -8,6 +8,15 @@ type t
 val empty : t
 val add : t -> float -> t
 val add_all : t -> float list -> t
+
+(** [merge a b] summarizes the union of the observations behind [a] and
+    [b] (Chan et al.'s pairwise Welford combine): counts add, min/max
+    combine exactly, mean and variance agree with a single sequential
+    pass up to floating-point rounding.  Either side may be {!empty},
+    in which case the other side is returned unchanged.  This is the
+    reduction step of the parallel evaluation harness: per-replicate
+    accumulators are merged in replicate order. *)
+val merge : t -> t -> t
 val count : t -> int
 val mean : t -> float
 (** Mean of the observations; [nan] when empty. *)

@@ -7,30 +7,45 @@ let recommended_domains () =
     end
   | None -> Domain.recommended_domain_count ()
 
+(* True while the current domain is executing pool work.  Nested
+   [parallel_init] calls (the evaluation harness fans replicates out
+   while the studies fan configurations out) run inline instead of
+   spawning domains on top of an already-saturated machine. *)
+let in_region_key = Domain.DLS.new_key (fun () -> false)
+
+let in_parallel_region () = Domain.DLS.get in_region_key
+
 let parallel_init ?domains n f =
   if n < 0 then invalid_arg "Domain_pool.parallel_init: negative size";
   let domains = match domains with Some d -> d | None -> recommended_domains () in
-  if domains <= 1 || n <= 1 then Array.init n f
+  if domains <= 1 || n <= 1 || in_parallel_region () then Array.init n f
   else begin
     let results = Array.make n None in
     let first_error = Atomic.make None in
     let next = Atomic.make 0 in
     let worker () =
+      Domain.DLS.set in_region_key true;
       let continue = ref true in
       while !continue do
-        let i = Atomic.fetch_and_add next 1 in
-        if i >= n then continue := false
+        (* Once a task has failed the sweep's outcome is decided:
+           stop claiming so the failure surfaces promptly instead of
+           burning the rest of the grid. *)
+        if Atomic.get first_error <> None then continue := false
         else begin
-          match f i with
-          | v -> results.(i) <- Some v
-          | exception e ->
-              (* Remember one failure; let the other workers drain. *)
-              ignore (Atomic.compare_and_set first_error None (Some e))
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n then continue := false
+          else begin
+            match f i with
+            | v -> results.(i) <- Some v
+            | exception e -> ignore (Atomic.compare_and_set first_error None (Some e))
+          end
         end
       done
     in
     let spawned = List.init (min domains n - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
+    Fun.protect
+      ~finally:(fun () -> Domain.DLS.set in_region_key false)
+      worker;
     List.iter Domain.join spawned;
     (match Atomic.get first_error with Some e -> raise e | None -> ());
     Array.map Option.get results

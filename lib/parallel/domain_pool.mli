@@ -2,12 +2,18 @@
 
     Every study in this repository is a sweep of independent
     evaluations (points of a figure, cells of a grid, candidate
-    periods); on a multicore machine they parallelize trivially with
-    OCaml 5 domains.  This module provides a deterministic
-    [parallel_init]: work items are claimed from an atomic counter,
-    each output slot is written by exactly one domain, and joining the
-    domains publishes all writes, so results are identical to the
-    sequential run regardless of scheduling.
+    periods, Monte-Carlo replicates); on a multicore machine they
+    parallelize trivially with OCaml 5 domains.  This module provides
+    a deterministic [parallel_init]: work items are claimed from an
+    atomic counter, each output slot is written by exactly one domain,
+    and joining the domains publishes all writes, so results are
+    identical to the sequential run regardless of scheduling.
+
+    Calls nest without oversubscribing: a task that itself calls
+    [parallel_init] (the evaluation harness parallelizes replicates
+    while the studies parallelize configurations) runs its sub-work
+    inline on the claiming domain, so the machine never runs more than
+    one pool's worth of domains.
 
     Tasks must not share mutable state (the simulator's runs don't:
     each builds its own policies, traces and engine state). *)
@@ -16,12 +22,18 @@ val recommended_domains : unit -> int
 (** [Domain.recommended_domain_count ()], overridden by the
     [CKPT_DOMAINS] environment variable when set. *)
 
+val in_parallel_region : unit -> bool
+(** True while the calling domain is executing a [parallel_init] task;
+    in that case any nested [parallel_init] runs inline. *)
+
 val parallel_init : ?domains:int -> int -> (int -> 'a) -> 'a array
 (** [parallel_init ~domains n f] is [Array.init n f] evaluated by up
     to [domains] domains (default {!recommended_domains}).  Falls back
-    to plain [Array.init] when [domains <= 1] or [n <= 1].  If any
-    task raises, one of the raised exceptions is re-raised after all
-    domains have joined.
+    to plain [Array.init] when [domains <= 1], [n <= 1] or when called
+    from inside another [parallel_init] task.  If any task raises,
+    workers stop claiming new work, and one of the raised exceptions
+    is re-raised after all domains have joined — a failing sweep
+    aborts promptly instead of executing the full remaining range.
     @raise Invalid_argument if [n < 0]. *)
 
 val parallel_map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list

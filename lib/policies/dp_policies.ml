@@ -4,20 +4,35 @@ module Dp_next_failure = Ckpt_core.Dp_next_failure
 
 (* DPMakespan tables are shared across executions whose initial age
    falls in the same 50%-geometric bucket: at the month-plus ages where
-   jobs start, the optimal plan varies far more slowly than that. *)
+   jobs start, the optimal plan varies far more slowly than that.
+   Each bucket's table is solved at the bucket's canonical (midpoint)
+   age rather than the first age seen, so the shared table does not
+   depend on which execution populated the cache — a requirement for
+   bit-identical results when replicates are claimed by domains in a
+   scheduling-dependent order. *)
 let age_bucket tau0 = int_of_float (log1p tau0 /. 0.5)
+let bucket_age bucket = expm1 ((float_of_int bucket +. 0.5) *. 0.5)
 
 let dp_makespan ?quantum ?cap_states ?chunk_factor job =
   let context = Job.dp_context job ~platform_view:(job.Job.processors > 1) in
   let work = job.Job.work_time in
-  let tables : (int, Dp_makespan.t) Hashtbl.t = Hashtbl.create 8 in
+  (* One table cache per domain: a [Dp_makespan.t] keeps memoizing
+     lazily while cursors walk it, so sharing one across domains would
+     race when the evaluation harness fans replicates out.  Solving is
+     deterministic, so per-domain recomputation changes no result —
+     it only costs one solve per bucket per domain. *)
+  let tables_key : (int, Dp_makespan.t) Hashtbl.t Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+  in
   let table_for tau0 =
+    let tables = Domain.DLS.get tables_key in
     let bucket = age_bucket tau0 in
     match Hashtbl.find_opt tables bucket with
     | Some t -> t
     | None ->
         let t =
-          Dp_makespan.solve ?quantum ?cap_states ?chunk_factor ~context ~work ~initial_age:tau0 ()
+          Dp_makespan.solve ?quantum ?cap_states ?chunk_factor ~context ~work
+            ~initial_age:(bucket_age bucket) ()
         in
         Hashtbl.add tables bucket t;
         t

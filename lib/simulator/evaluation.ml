@@ -1,5 +1,6 @@
 module Policy = Ckpt_policies.Policy
 module Summary = Ckpt_numerics.Summary
+module Domain_pool = Ckpt_parallel.Domain_pool
 
 type policy_result = {
   policy_name : string;
@@ -53,6 +54,15 @@ let record acc ~degradation (m : Engine.metrics) =
     acc.largest_chunk <- Float.max acc.largest_chunk m.Engine.max_chunk
   end
 
+let merge_into acc other =
+  acc.degradation <- Summary.merge acc.degradation other.degradation;
+  acc.makespan <- Summary.merge acc.makespan other.makespan;
+  acc.failures <- Summary.merge acc.failures other.failures;
+  acc.chunk_counts <- Summary.merge acc.chunk_counts other.chunk_counts;
+  acc.worst_failures <- max acc.worst_failures other.worst_failures;
+  acc.smallest_chunk <- Float.min acc.smallest_chunk other.smallest_chunk;
+  acc.largest_chunk <- Float.max acc.largest_chunk other.largest_chunk
+
 let result_of_accumulator name acc =
   {
     policy_name = name;
@@ -67,37 +77,88 @@ let result_of_accumulator name acc =
     max_chunk = acc.largest_chunk;
   }
 
+(* One Monte-Carlo replicate, self-contained: generates (or fetches
+   from the scenario cache) its trace set, runs every policy and the
+   omniscient bound, and accumulates into replicate-local state.  The
+   result depends only on (scenario, policies, replicate) — never on
+   which domain ran it or in which order — which is what makes the
+   parallel fan-out below deterministic. *)
+type replicate_outcome = {
+  rep_accs : accumulator array;  (* one per policy, input order *)
+  rep_lb : accumulator;
+  rep_usable : bool;
+}
+
+let run_replicate ~scenario ~policies replicate =
+  let traces =
+    Instrument.time "trace-generation" (fun () -> Scenario.traces scenario ~replicate)
+  in
+  let runs =
+    Array.map
+      (fun policy ->
+        Instrument.time policy.Policy.name (fun () -> Engine.run ~scenario ~traces ~policy))
+      policies
+  in
+  let best =
+    Array.fold_left
+      (fun acc outcome ->
+        match outcome with
+        | Engine.Completed m -> Float.min acc m.Engine.makespan
+        | Engine.Policy_failed _ -> acc)
+      infinity runs
+  in
+  let rep_accs = Array.map (fun _ -> fresh_accumulator ()) policies in
+  let rep_lb = fresh_accumulator () in
+  let rep_usable = Float.is_finite best && best > 0. in
+  if rep_usable then begin
+    Array.iteri
+      (fun i outcome ->
+        match outcome with
+        | Engine.Completed m -> record rep_accs.(i) ~degradation:(m.Engine.makespan /. best) m
+        | Engine.Policy_failed _ -> ())
+      runs;
+    let lb = Instrument.time "LowerBound" (fun () -> Engine.lower_bound ~scenario ~traces) in
+    record rep_lb ~degradation:(lb.Engine.makespan /. best) lb
+  end;
+  { rep_accs; rep_lb; rep_usable }
+
 let degradation_table ~scenario ~policies ~replicates =
   if replicates <= 0 then invalid_arg "Evaluation.degradation_table: replicates must be positive";
   if policies = [] then invalid_arg "Evaluation.degradation_table: no policies";
-  let n = List.length policies in
-  let accs = Array.init n (fun _ -> fresh_accumulator ()) in
+  (* Timers and progress are process-global; only a top-level table
+     (not one nested inside a study's own fan-out, where several
+     tables run concurrently) resets and reports them. *)
+  let top_level = not (Domain_pool.in_parallel_region ()) in
+  if top_level then Instrument.reset ();
+  let policy_array = Array.of_list policies in
+  let progress =
+    if top_level then Some (Instrument.progress ~label:"degradation_table" ~total:replicates)
+    else None
+  in
+  (* Fan the replicates out (inline when nested under a study that
+     already parallelizes configurations), then reduce serially in
+     replicate order: the merge sequence — hence the table — is
+     bit-for-bit independent of the domain count. *)
+  let outcomes =
+    Domain_pool.parallel_init replicates (fun replicate ->
+        let o = run_replicate ~scenario ~policies:policy_array replicate in
+        Option.iter Instrument.step progress;
+        o)
+  in
+  let accs = Array.map (fun _ -> fresh_accumulator ()) policy_array in
   let lb_acc = fresh_accumulator () in
   let usable = ref 0 in
-  for replicate = 0 to replicates - 1 do
-    let traces = Scenario.traces scenario ~replicate in
-    let runs = List.map (fun policy -> Engine.run ~scenario ~traces ~policy) policies in
-    let best =
-      List.fold_left
-        (fun acc outcome ->
-          match outcome with
-          | Engine.Completed m -> Float.min acc m.Engine.makespan
-          | Engine.Policy_failed _ -> acc)
-        infinity runs
-    in
-    if Float.is_finite best && best > 0. then begin
-      incr usable;
-      List.iteri
-        (fun i outcome ->
-          match outcome with
-          | Engine.Completed m ->
-              record accs.(i) ~degradation:(m.Engine.makespan /. best) m
-          | Engine.Policy_failed _ -> ())
-        runs;
-      let lb = Engine.lower_bound ~scenario ~traces in
-      record lb_acc ~degradation:(lb.Engine.makespan /. best) lb
-    end
-  done;
+  Array.iter
+    (fun o ->
+      if o.rep_usable then incr usable;
+      Array.iteri (fun i rep -> merge_into accs.(i) rep) o.rep_accs;
+      merge_into lb_acc o.rep_lb)
+    outcomes;
+  if top_level then begin
+    let hits, misses = Scenario.cache_stats scenario in
+    Instrument.info "trace cache: %d hits, %d misses" hits misses;
+    Instrument.report ~label:"degradation_table" ()
+  end;
   {
     lower_bound = result_of_accumulator "LowerBound" lb_acc;
     results = List.mapi (fun i p -> result_of_accumulator p.Policy.name accs.(i)) policies;
@@ -106,19 +167,33 @@ let degradation_table ~scenario ~policies ~replicates =
   }
 
 let average_makespan ~scenario ~policy ~replicates =
-  let acc = ref Summary.empty in
-  for replicate = 0 to replicates - 1 do
-    let traces = Scenario.traces scenario ~replicate in
-    match Engine.run ~scenario ~traces ~policy with
-    | Engine.Completed m -> acc := Summary.add !acc m.Engine.makespan
-    | Engine.Policy_failed _ -> ()
-  done;
-  if Summary.count !acc = 0 then None else Some (Summary.mean !acc)
+  let makespans =
+    Domain_pool.parallel_init replicates (fun replicate ->
+        let traces = Scenario.traces scenario ~replicate in
+        match Engine.run ~scenario ~traces ~policy with
+        | Engine.Completed m -> Some m.Engine.makespan
+        | Engine.Policy_failed _ -> None)
+  in
+  let acc =
+    Array.fold_left
+      (fun acc -> function Some m -> Summary.add acc m | None -> acc)
+      Summary.empty makespans
+  in
+  if Summary.count acc = 0 then None else Some (Summary.mean acc)
+
+(* A float cell that may be undefined (no successful run to average,
+   or a single run with no defined deviation): print "n/a" instead of
+   letting the NaN leak into the table. *)
+let pp_cell ~width ~decimals fmt v =
+  if Float.is_nan v then Format.fprintf fmt "%*s" width "n/a"
+  else Format.fprintf fmt "%*.*f" width decimals v
 
 let pp_result fmt r =
-  Format.fprintf fmt "%-16s %8.5f %8.5f  %10.0f s  %3d ok  %6.1f fail (max %d)" r.policy_name
-    r.average_degradation r.std_degradation r.average_makespan r.successes r.average_failures
-    r.max_failures
+  Format.fprintf fmt "%-16s %a %a  %a s  %3d ok  %a fail (max %d)" r.policy_name
+    (pp_cell ~width:8 ~decimals:5) r.average_degradation
+    (pp_cell ~width:8 ~decimals:5) r.std_degradation
+    (pp_cell ~width:10 ~decimals:0) r.average_makespan r.successes
+    (pp_cell ~width:6 ~decimals:1) r.average_failures r.max_failures
 
 let pp_table fmt t =
   Format.fprintf fmt "%-16s %8s %8s  %12s  %5s  %s@." "policy" "avg-deg" "std" "avg-makespan"

@@ -4,7 +4,16 @@
     on every trace set; on each trace set normalize each policy's
     makespan by the best makespan achieved by any {e policy} (the
     omniscient LowerBound is excluded from the minimum but reported,
-    normalized, as its own row); average the per-trace degradations. *)
+    normalized, as its own row); average the per-trace degradations.
+
+    Replicates are evaluated in parallel over OCaml 5 domains
+    ([CKPT_DOMAINS] controls the fan-out; nested inside a study that
+    already parallelizes, the replicates run inline).  Each replicate
+    accumulates into its own state and the per-replicate accumulators
+    are merged serially in replicate order ({!Ckpt_numerics.Summary.merge}),
+    so the table is bit-for-bit identical for every domain count.
+    Set [CKPT_VERBOSE=1] for per-policy wall-clock and replicate
+    progress reporting (see {!Instrument}). *)
 
 type policy_result = {
   policy_name : string;
@@ -40,4 +49,7 @@ val average_makespan :
     plots); [None] if the policy failed on every trace set. *)
 
 val pp_table : Format.formatter -> table -> unit
-(** Render rows as the paper's tables do (name, avg, std, extras). *)
+(** Render rows as the paper's tables do (name, avg, std, extras).
+    Cells with no defined value — a policy that completed no run, or a
+    standard deviation over fewer than two runs — print as ["n/a"],
+    never as [nan] (the paper's incomplete Liu curves). *)

@@ -1,0 +1,106 @@
+(* Lightweight observability for the long Monte-Carlo runs: per-label
+   wall-clock accumulation and replicate-progress reporting, all
+   behind CKPT_VERBOSE=1 so the default path costs one branch. *)
+
+let enabled_flag = lazy (Sys.getenv_opt "CKPT_VERBOSE" = Some "1")
+let enabled () = Lazy.force enabled_flag
+
+let src = Logs.Src.create "ckpt.eval" ~doc:"Evaluation-harness instrumentation"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Timers and progress counters are shared across domains: everything
+   below is either atomic or guarded by [lock]. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+(* Logs reporters are not required to be domain-safe; ours serializes
+   through [lock] and is only installed when nothing else is. *)
+let reporter () =
+  let report _src level ~over k msgf =
+    msgf (fun ?header:_ ?tags:_ fmt ->
+        locked (fun () ->
+            Format.kfprintf
+              (fun ppf ->
+                Format.pp_print_newline ppf ();
+                over ();
+                k ())
+              Format.err_formatter
+              ("[%s] " ^^ fmt)
+              (match level with
+              | Logs.Error -> "eval:error"
+              | Logs.Warning -> "eval:warn"
+              | _ -> "eval")))
+  in
+  { Logs.report }
+
+let setup_once =
+  lazy
+    (if enabled () then begin
+       if Logs.reporter () == Logs.nop_reporter then Logs.set_reporter (reporter ());
+       Logs.Src.set_level src (Some Logs.Info)
+     end)
+
+let setup () = Lazy.force setup_once
+
+(* -- wall-clock accumulation ---------------------------------------------- *)
+
+type cell = { mutable seconds : float; mutable calls : int }
+
+let timers : (string, cell) Hashtbl.t = Hashtbl.create 16
+
+let time label f =
+  if not (enabled ()) then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect f ~finally:(fun () ->
+        let dt = Unix.gettimeofday () -. t0 in
+        locked (fun () ->
+            match Hashtbl.find_opt timers label with
+            | Some c ->
+                c.seconds <- c.seconds +. dt;
+                c.calls <- c.calls + 1
+            | None -> Hashtbl.add timers label { seconds = dt; calls = 1 }))
+  end
+
+let reset () = locked (fun () -> Hashtbl.reset timers)
+
+let report ~label () =
+  if enabled () then begin
+    setup ();
+    let rows =
+      locked (fun () -> Hashtbl.fold (fun name c acc -> (name, c.seconds, c.calls) :: acc) timers [])
+      |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
+    in
+    let total = List.fold_left (fun acc (_, s, _) -> acc +. s) 0. rows in
+    if rows <> [] then begin
+      Log.info (fun m -> m "%s: wall-clock by stage (%.2f s total across domains)" label total);
+      List.iter
+        (fun (name, seconds, calls) ->
+          Log.info (fun m ->
+              m "  %-20s %8.2f s  %6d calls  %5.1f%%" name seconds calls
+                (100. *. seconds /. Float.max total 1e-12)))
+        rows
+    end
+  end
+
+(* -- replicate progress --------------------------------------------------- *)
+
+type progress = { p_label : string; total : int; stride : int; done_ : int Atomic.t }
+
+let progress ~label ~total =
+  if enabled () then setup ();
+  { p_label = label; total; stride = max 1 (total / 10); done_ = Atomic.make 0 }
+
+let step p =
+  if enabled () then begin
+    let d = 1 + Atomic.fetch_and_add p.done_ 1 in
+    if d = p.total || d mod p.stride = 0 then
+      Log.info (fun m -> m "%s: %d/%d replicates" p.p_label d p.total)
+  end
+
+let info fmt =
+  Format.ksprintf (fun s -> if enabled () then begin setup (); Log.info (fun m -> m "%s" s) end) fmt

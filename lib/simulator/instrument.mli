@@ -1,0 +1,39 @@
+(** Observability for long evaluation runs.
+
+    Grid studies at paper scale (600 replicates per cell) run for
+    hours; this module reports where the time goes.  Everything is
+    gated on the [CKPT_VERBOSE=1] environment variable — when unset,
+    {!time} is a single branch around the thunk and {!step} is a
+    no-op, so instrumented code paths cost nothing in normal runs.
+
+    Output goes through {!Logs} (source ["ckpt.eval"], level Info); if
+    the application installed no reporter, a minimal stderr reporter
+    is installed on first use.  All entry points may be called
+    concurrently from multiple domains. *)
+
+val enabled : unit -> bool
+(** True iff [CKPT_VERBOSE=1] was set at startup. *)
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time label f] runs [f ()], accumulating its wall-clock time under
+    [label] (summed across domains) when enabled. *)
+
+val report : label:string -> unit -> unit
+(** Log the accumulated per-label wall-clock totals, largest first,
+    prefixed by [label].  No-op when disabled or nothing was timed. *)
+
+val reset : unit -> unit
+(** Drop all accumulated timers (each evaluation reports its own). *)
+
+type progress
+(** A shared replicate-progress counter. *)
+
+val progress : label:string -> total:int -> progress
+
+val step : progress -> unit
+(** Count one finished replicate; logs roughly every 10% and on the
+    last replicate. *)
+
+val info : ('a, unit, string, unit) format4 -> 'a
+(** Printf-style one-off Info line (e.g. trace-cache statistics);
+    dropped when disabled. *)

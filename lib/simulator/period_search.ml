@@ -28,6 +28,11 @@ let best_period ?(factors = default_factors ()) ?(tuning_replicates = 16) ~scena
     () =
   if base_period <= 0. then invalid_arg "Period_search.best_period: base period must be positive";
   let work = scenario.Scenario.job.Ckpt_policies.Job.work_time in
+  (* If the whole grid is unusable (no candidate in (0, work], or no
+     candidate completing a tuning run), fall back to the base period
+     rather than the fold's neutral element: a period of 0 would make
+     [Policy.periodic] decline every chunk. *)
+  let fallback = Float.min base_period work in
   let candidates =
     List.filter_map
       (fun f ->
@@ -36,16 +41,23 @@ let best_period ?(factors = default_factors ()) ?(tuning_replicates = 16) ~scena
       factors
     |> List.sort_uniq compare
   in
-  let candidates = if candidates = [] then [ Float.min base_period work ] else candidates in
+  let candidates = if candidates = [] then [ fallback ] else candidates in
   let trace_sets =
     Array.init tuning_replicates (fun r ->
         Scenario.traces scenario ~replicate:(tuning_offset + r))
   in
+  (* Candidates are scored independently on the shared tuning sets:
+     fan them out (inline when already inside a parallel study), then
+     pick the winner in candidate order so ties break as the
+     sequential fold did. *)
+  let scores =
+    Ckpt_parallel.Domain_pool.parallel_map_list
+      (fun p -> (p, average_tuning_makespan ~scenario ~trace_sets ~period:p))
+      candidates
+  in
   List.fold_left
-    (fun (best_p, best_v) p ->
-      let v = average_tuning_makespan ~scenario ~trace_sets ~period:p in
-      if v < best_v then (p, v) else (best_p, best_v))
-    (0., infinity) candidates
+    (fun (best_p, best_v) (p, v) -> if v < best_v then (p, v) else (best_p, best_v))
+    (fallback, infinity) scores
 
 let policy ?factors ?tuning_replicates scenario =
   let base_period = Optexp.period scenario.Scenario.job in

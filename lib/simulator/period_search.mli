@@ -21,7 +21,11 @@ val best_period :
   float * float
 (** [(period, average tuning makespan)] of the winning candidate.
     Tuning trace sets are drawn from a replicate range disjoint from
-    the one the evaluation uses (offset by 1,000,000). *)
+    the one the evaluation uses (offset by 1,000,000); candidates are
+    scored in parallel, with the winner picked in candidate order.
+    If no candidate lies in [(0, work]] or none completes a tuning
+    run, returns [(min base_period work, infinity)] — never a zero or
+    negative period. *)
 
 val policy :
   ?factors:float list -> ?tuning_replicates:int -> Scenario.t -> Ckpt_policies.Policy.t

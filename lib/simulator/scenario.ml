@@ -3,11 +3,40 @@ module Trace = Ckpt_failures.Trace
 module Trace_set = Ckpt_failures.Trace_set
 module Units = Ckpt_platform.Units
 
+(* Generated trace sets are pure functions of (scenario, replicate),
+   and several consumers ask for the same ones — the period search
+   scores every candidate on one tuning set, policy sweeps re-run the
+   same replicates per policy — so each scenario carries a bounded
+   FIFO cache.  The cache is shared across domains (the evaluation
+   harness fans replicates out), hence the lock; generation itself
+   runs outside the lock, so a race at worst regenerates a set that is
+   bit-identical anyway. *)
+type cache = {
+  lock : Mutex.t;
+  table : (int, Trace_set.t) Hashtbl.t;
+  order : int Queue.t;
+  capacity : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let default_cache_capacity = 64
+
+let cache_capacity () =
+  match Sys.getenv_opt "CKPT_TRACE_CACHE" with
+  | Some s -> begin
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 0 -> n
+      | Some _ | None -> default_cache_capacity
+    end
+  | None -> default_cache_capacity
+
 type t = {
   job : Job.t;
   seed : int64;
   horizon : float;
   start_time : float;
+  cache : cache;
 }
 
 let create ?(seed = 0x5EEDL) ?horizon ?start_time job =
@@ -20,12 +49,61 @@ let create ?(seed = 0x5EEDL) ?horizon ?start_time job =
   in
   if start_time < 0. || start_time >= horizon then
     invalid_arg "Scenario.create: start_time outside [0, horizon)";
-  { job; seed; horizon; start_time }
+  {
+    job;
+    seed;
+    horizon;
+    start_time;
+    cache =
+      {
+        lock = Mutex.create ();
+        table = Hashtbl.create 64;
+        order = Queue.create ();
+        capacity = cache_capacity ();
+        hits = 0;
+        misses = 0;
+      };
+  }
+
+let generate t ~replicate =
+  Trace_set.generate ~seed:t.seed ~replicate t.job.Job.dist
+    ~processors:(Job.failure_units t.job) ~horizon:t.horizon
+
+let locked c f =
+  Mutex.lock c.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.lock) f
 
 (* One trace per failure unit. *)
 let traces t ~replicate =
-  Trace_set.generate ~seed:t.seed ~replicate t.job.Job.dist
-    ~processors:(Job.failure_units t.job) ~horizon:t.horizon
+  let c = t.cache in
+  if c.capacity = 0 then generate t ~replicate
+  else begin
+    match
+      locked c (fun () ->
+          match Hashtbl.find_opt c.table replicate with
+          | Some v ->
+              c.hits <- c.hits + 1;
+              Some v
+          | None ->
+              c.misses <- c.misses + 1;
+              None)
+    with
+    | Some v -> v
+    | None ->
+        let v = generate t ~replicate in
+        locked c (fun () ->
+            if not (Hashtbl.mem c.table replicate) then begin
+              if Hashtbl.length c.table >= c.capacity then
+                Hashtbl.remove c.table (Queue.pop c.order);
+              Hashtbl.add c.table replicate v;
+              Queue.push replicate c.order
+            end);
+        v
+  end
+
+let cache_stats t =
+  let c = t.cache in
+  locked c (fun () -> (c.hits, c.misses))
 
 let initial_lifetime_starts t traces =
   let d = Job.downtime t.job in

@@ -1,6 +1,16 @@
 (** A fully specified simulation setting: job + trace-generation
     protocol (Section 4.3). *)
 
+type cache
+(** Bounded FIFO cache of generated trace sets, keyed by replicate
+    (so process-wide the cache is keyed by [(scenario, replicate)]).
+    Trace sets are pure functions of the scenario and the replicate
+    index; the cache only saves regeneration work — the period
+    search's tuning sets, policy sweeps re-running the same
+    replicates — and never changes results.  Capacity comes from the
+    [CKPT_TRACE_CACHE] environment variable (default 64 sets;
+    0 disables caching).  Safe to share across domains. *)
+
 type t = {
   job : Ckpt_policies.Job.t;
   seed : int64;
@@ -9,6 +19,7 @@ type t = {
       (** job start [t0] within the horizon; 1 year for parallel
           platforms (avoids synchronized-birth effects), 0 for the
           single-processor study. *)
+  cache : cache;  (** private to {!traces}; created by {!create}. *)
 }
 
 val create : ?seed:int64 -> ?horizon:float -> ?start_time:float -> Ckpt_policies.Job.t -> t
@@ -21,7 +32,11 @@ val traces : t -> replicate:int -> Ckpt_failures.Trace_set.t
     {e failure unit} of the job (the job's [group_size] processors
     share a unit).  Deterministic in [(seed, replicate, unit)], so
     runs with fewer processors see a prefix of the traces of runs with
-    more (the paper's coherence requirement when varying [p]). *)
+    more (the paper's coherence requirement when varying [p]).
+    Memoized per scenario (see {!type:cache}). *)
+
+val cache_stats : t -> int * int
+(** [(hits, misses)] of the scenario's trace cache so far. *)
 
 val initial_lifetime_starts : t -> Ckpt_failures.Trace_set.t -> float array
 (** Per-failure-unit instants at which the lifetime in progress at

@@ -228,6 +228,55 @@ let prop_mean_within_range =
       Summary.mean s >= Summary.min_value s -. 1e-9
       && Summary.mean s <= Summary.max_value s +. 1e-9)
 
+let test_merge_empty_sides () =
+  let s = Summary.add_all Summary.empty [ 1.; 2.; 3. ] in
+  check Alcotest.int "empty/empty count" 0 (Summary.count (Summary.merge Summary.empty Summary.empty));
+  check Alcotest.bool "left empty is identity" true (Summary.merge Summary.empty s = s);
+  check Alcotest.bool "right empty is identity" true (Summary.merge s Summary.empty = s)
+
+let test_merge_known () =
+  let a = Summary.of_array [| 2.; 4.; 4.; 4. |] in
+  let b = Summary.of_array [| 5.; 5.; 7.; 9. |] in
+  let m = Summary.merge a b in
+  check Alcotest.int "count" 8 (Summary.count m);
+  close "mean" 5. (Summary.mean m);
+  close ~tol:1e-9 "variance" (32. /. 7.) (Summary.variance m);
+  close "min" 2. (Summary.min_value m);
+  close "max" 9. (Summary.max_value m)
+
+(* The same-value comparison [merge (splits of xs) vs add_all xs] must
+   tolerate rounding (the two accumulation orders differ) and treat
+   the undefined cases (nan mean/variance of tiny samples) as equal. *)
+let summary_agrees a b =
+  let close a b = (Float.is_nan a && Float.is_nan b) || abs_float (a -. b) <= 1e-6 *. (1. +. abs_float a +. abs_float b) in
+  Summary.count a = Summary.count b
+  && close (Summary.mean a) (Summary.mean b)
+  && close (Summary.variance a) (Summary.variance b)
+  && close (Summary.min_value a) (Summary.min_value b)
+  && close (Summary.max_value a) (Summary.max_value b)
+
+let prop_merge_matches_add_all =
+  QCheck2.Test.make ~name:"merge of a split = add_all of the whole" ~count:300
+    QCheck2.Gen.(pair (list_size (int_range 0 40) (float_range (-1e3) 1e3)) (list_size (int_range 0 40) (float_range (-1e3) 1e3)))
+    (fun (xs, ys) ->
+      let merged =
+        Summary.merge (Summary.add_all Summary.empty xs) (Summary.add_all Summary.empty ys)
+      in
+      summary_agrees merged (Summary.add_all Summary.empty (xs @ ys)))
+
+let prop_merge_pairwise_reduction =
+  (* Replicate-ordered pairwise reduction of singletons — exactly what
+     the parallel evaluation harness does — agrees with one pass. *)
+  QCheck2.Test.make ~name:"pairwise singleton reduction = one pass" ~count:300
+    QCheck2.Gen.(list_size (int_range 0 60) (float_range (-1e3) 1e3))
+    (fun xs ->
+      let reduced =
+        List.fold_left
+          (fun acc x -> Summary.merge acc (Summary.add Summary.empty x))
+          Summary.empty xs
+      in
+      summary_agrees reduced (Summary.add_all Summary.empty xs))
+
 let prop_quantile_monotone =
   QCheck2.Test.make ~name:"quantile is monotone in p" ~count:300
     QCheck2.Gen.(
@@ -270,7 +319,10 @@ let test_histogram_errors () =
 
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_w0_identity; prop_mean_within_range; prop_quantile_monotone ]
+    [
+      prop_w0_identity; prop_mean_within_range; prop_merge_matches_add_all;
+      prop_merge_pairwise_reduction; prop_quantile_monotone;
+    ]
 
 let () =
   Alcotest.run "numerics"
@@ -321,6 +373,8 @@ let () =
           Alcotest.test_case "known stats" `Quick test_summary_known;
           Alcotest.test_case "offset stability" `Quick test_summary_stability;
           Alcotest.test_case "empty" `Quick test_summary_empty;
+          Alcotest.test_case "merge empty sides" `Quick test_merge_empty_sides;
+          Alcotest.test_case "merge known stats" `Quick test_merge_known;
           Alcotest.test_case "quantiles" `Quick test_quantiles;
           Alcotest.test_case "confidence interval" `Quick test_confidence_interval;
           Alcotest.test_case "quantile errors" `Quick test_quantile_errors;

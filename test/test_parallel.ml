@@ -43,6 +43,37 @@ let test_exception_propagates () =
             (Domain_pool.parallel_init ~domains 16 (fun i -> if i = 7 then raise Boom else i))))
     [ 1; 3 ]
 
+let test_error_stops_claiming () =
+  (* Task 0 fails immediately; each task otherwise sleeps, so draining
+     the whole range would take ~0.4 s while the error flag is set
+     within microseconds: far fewer than [n] tasks may start. *)
+  let n = 200 in
+  let executed = Atomic.make 0 in
+  Alcotest.check_raises "failure propagates" Boom (fun () ->
+      ignore
+        (Domain_pool.parallel_init ~domains:4 n (fun i ->
+             Atomic.incr executed;
+             if i = 0 then raise Boom;
+             Unix.sleepf 0.002)));
+  check Alcotest.bool
+    (Printf.sprintf "aborted early (%d/%d tasks started)" (Atomic.get executed) n)
+    true
+    (Atomic.get executed < n)
+
+let test_nested_runs_inline () =
+  check Alcotest.bool "not in a region at top level" false (Domain_pool.in_parallel_region ());
+  let outer =
+    Domain_pool.parallel_init ~domains:4 4 (fun i ->
+        check Alcotest.bool "task sees the region flag" true (Domain_pool.in_parallel_region ());
+        (* The nested call must run inline (no oversubscription) and
+           still produce Array.init's results. *)
+        let inner = Domain_pool.parallel_init ~domains:4 8 (fun j -> (10 * i) + j) in
+        Array.fold_left ( + ) 0 inner)
+  in
+  let expected = Array.init 4 (fun i -> (80 * i) + 28) in
+  check (Alcotest.array Alcotest.int) "nested sums" expected outer;
+  check Alcotest.bool "region flag restored" false (Domain_pool.in_parallel_region ())
+
 let test_negative_size () =
   Alcotest.check_raises "negative" (Invalid_argument "Domain_pool.parallel_init: negative size")
     (fun () -> ignore (Domain_pool.parallel_init ~domains:2 (-1) (fun i -> i)))
@@ -69,6 +100,8 @@ let () =
           Alcotest.test_case "every slot exactly once" `Quick test_every_slot_once;
           Alcotest.test_case "map_list order" `Quick test_map_list_order;
           Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "error stops claiming" `Quick test_error_stops_claiming;
+          Alcotest.test_case "nested calls run inline" `Quick test_nested_runs_inline;
           Alcotest.test_case "negative size" `Quick test_negative_size;
           Alcotest.test_case "env override" `Quick test_recommended_env_override;
         ] );

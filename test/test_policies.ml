@@ -296,6 +296,43 @@ let test_dp_makespan_recovers_after_failure () =
   check Alcotest.bool "still prescribes work" true (after_failure > 0.);
   ignore first
 
+let test_dp_makespan_bucket_table_canonical () =
+  (* The per-bucket table cache must hold the same table no matter
+     which initial age populated it first: otherwise results depend on
+     the order domains claim replicates.  Ages 700 s and 1050 s share
+     a 50%-geometric bucket; seeding the cache at one then querying at
+     the other must match querying a fresh cache directly. *)
+  let j =
+    Job.create
+      ~dist:(Exponential.of_mtbf ~mtbf:(Units.of_years 125.))
+      ~processors:45208 ~machine:(machine 45208)
+      ~work_time:(Units.of_years 1000. /. 45208.)
+  in
+  let plan ~seed_age ~query_age =
+    let policy = Dp_policies.dp_makespan j in
+    (if seed_age <> query_age then
+       let seeder = policy.Policy.instantiate () in
+       ignore
+         (seeder
+            (observation ~remaining:j.Job.work_time ~min_age:seed_age ~ages:[| seed_age |] ())));
+    let i = policy.Policy.instantiate () in
+    let remaining = ref j.Job.work_time in
+    let phase = ref Policy.Start in
+    let chunks = ref [] in
+    while !remaining > 1e-6 && List.length !chunks < 500 do
+      match i (observation ~phase:!phase ~remaining:!remaining ~min_age:query_age ~ages:[| query_age |] ()) with
+      | None -> Alcotest.fail "DPMakespan must always answer"
+      | Some chunk ->
+          chunks := chunk :: !chunks;
+          remaining := !remaining -. chunk;
+          phase := Policy.After_checkpoint
+    done;
+    List.rev !chunks
+  in
+  check (Alcotest.list (Alcotest.float 0.)) "seeded and fresh caches agree"
+    (plan ~seed_age:1050. ~query_age:1050.)
+    (plan ~seed_age:700. ~query_age:1050.)
+
 (* -- schedule ------------------------------------------------------------------------ *)
 
 module Schedule = Ckpt_policies.Schedule
@@ -396,5 +433,7 @@ let () =
           Alcotest.test_case "dpm full walk" `Quick test_dp_makespan_policy_walk;
           Alcotest.test_case "dpm recovers after failure" `Quick
             test_dp_makespan_recovers_after_failure;
+          Alcotest.test_case "dpm bucket table is canonical" `Quick
+            test_dp_makespan_bucket_table_canonical;
         ] );
     ]

@@ -311,6 +311,81 @@ let test_average_makespan () =
   | Some m -> check Alcotest.bool "at least the work" true (m >= 20_000.)
   | None -> Alcotest.fail "periodic always completes"
 
+let with_domains n f =
+  (* [degradation_table] reads CKPT_DOMAINS through
+     [Domain_pool.recommended_domains] on every call. *)
+  let previous = Sys.getenv_opt "CKPT_DOMAINS" in
+  Unix.putenv "CKPT_DOMAINS" (string_of_int n);
+  Fun.protect f ~finally:(fun () ->
+      Unix.putenv "CKPT_DOMAINS" (match previous with Some v -> v | None -> ""))
+
+let test_evaluation_parallel_deterministic () =
+  (* The acceptance guarantee: the table at CKPT_DOMAINS=4 is
+     bit-for-bit the table at CKPT_DOMAINS=1 — including a DP policy,
+     whose solved tables are cached per domain. *)
+  let policies () =
+    [ Policy.periodic "a" ~period:900.; Policy.periodic "b" ~period:2000.;
+      Ckpt_policies.Dp_policies.dp_makespan ~cap_states:40 (eval_scenario ()).Scenario.job ]
+  in
+  let table_with domains =
+    (* A fresh scenario per run: no trace-set cache sharing between
+       the serial and parallel runs. *)
+    with_domains domains (fun () ->
+        Evaluation.degradation_table ~scenario:(eval_scenario ()) ~policies:(policies ())
+          ~replicates:6)
+  in
+  let serial = table_with 1 in
+  let parallel = table_with 4 in
+  check Alcotest.bool "identical tables" true (serial = parallel);
+  check Alcotest.string "identical rendering"
+    (Format.asprintf "%a" Evaluation.pp_table serial)
+    (Format.asprintf "%a" Evaluation.pp_table parallel);
+  match
+    with_domains 1 (fun () ->
+        Evaluation.average_makespan ~scenario:(eval_scenario ())
+          ~policy:(Policy.periodic "p" ~period:1000.) ~replicates:5),
+    with_domains 4 (fun () ->
+        Evaluation.average_makespan ~scenario:(eval_scenario ())
+          ~policy:(Policy.periodic "p" ~period:1000.) ~replicates:5)
+  with
+  | Some a, Some b -> close ~tol:0. "average_makespan deterministic" a b
+  | _ -> Alcotest.fail "periodic always completes"
+
+let contains_substring haystack needle =
+  let h = String.length haystack and n = String.length needle in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+let test_evaluation_no_nan_printed () =
+  let scenario = eval_scenario () in
+  let never = Policy.stateless "never" (fun _ -> None) in
+  (* One policy fails on every replicate, and (second table) every
+     policy fails, so even the LowerBound row has no observations. *)
+  List.iter
+    (fun policies ->
+      let table = Evaluation.degradation_table ~scenario ~policies ~replicates:3 in
+      check Alcotest.bool "the failing policy really has no successes" true
+        (List.exists (fun r -> r.Evaluation.successes = 0) table.Evaluation.results);
+      let rendered = Format.asprintf "%a" Evaluation.pp_table table in
+      check Alcotest.bool
+        (Printf.sprintf "no nan in %S" rendered)
+        false
+        (contains_substring (String.lowercase_ascii rendered) "nan");
+      check Alcotest.bool "absent cells print n/a" true (contains_substring rendered "n/a"))
+    [ [ Policy.periodic "ok" ~period:1000.; never ]; [ never ] ]
+
+let test_trace_cache_reuses_sets () =
+  let scenario = eval_scenario () in
+  let a = Scenario.traces scenario ~replicate:3 in
+  let b = Scenario.traces scenario ~replicate:3 in
+  check Alcotest.bool "second lookup is the cached set" true (a == b);
+  let hits, misses = Scenario.cache_stats scenario in
+  check Alcotest.int "one hit" 1 hits;
+  check Alcotest.int "one miss" 1 misses;
+  (* A distinct scenario has a distinct cache: same bits, new set. *)
+  let c = Scenario.traces (eval_scenario ()) ~replicate:3 in
+  check Alcotest.bool "fresh scenario regenerates" true (c != a)
+
 let test_evaluation_invalid () =
   Alcotest.check_raises "no policies"
     (Invalid_argument "Evaluation.degradation_table: no policies") (fun () ->
@@ -334,6 +409,31 @@ let test_best_period_sane () =
   check Alcotest.bool "one of the candidates" true
     (List.exists (fun f -> abs_float (period -. (1000. *. f)) < 1e-6) [ 0.25; 1.; 4. ]);
   check Alcotest.bool "score finite" true (Float.is_finite score)
+
+let test_best_period_fallback_not_zero () =
+  let scenario = eval_scenario () in
+  (* Regression: with no usable tuning run every candidate scores
+     infinity, and the search used to return period 0 — which
+     [Policy.periodic] then refuses at every chunk.  It must fall back
+     to the (clamped) base period instead. *)
+  let period, score =
+    Period_search.best_period ~tuning_replicates:0 ~scenario ~base_period:1000. ()
+  in
+  close ~tol:1e-9 "falls back to the base period" 1000. period;
+  check Alcotest.bool "score reports the failure" true (score = infinity);
+  (* Same fallback when the factor grid leaves no candidate in
+     (0, work]. *)
+  let period, score =
+    Period_search.best_period ~factors:[ 1e12 ] ~tuning_replicates:2 ~scenario ~base_period:1000.
+      ()
+  in
+  close ~tol:1e-9 "clamped base period when no factor fits" 1000. period;
+  check Alcotest.bool "fallback candidate still scored" true (Float.is_finite score);
+  (* A base period beyond the work is clamped to the work. *)
+  let period, _ =
+    Period_search.best_period ~tuning_replicates:0 ~scenario ~base_period:1e9 ()
+  in
+  close ~tol:1e-9 "clamped to work" scenario.Scenario.job.Job.work_time period
 
 let test_sweep () =
   let scenario = eval_scenario () in
@@ -526,12 +626,17 @@ let () =
           Alcotest.test_case "degradations >= 1" `Quick test_evaluation_degradations;
           Alcotest.test_case "failed policy excluded" `Quick test_evaluation_failed_policy_excluded;
           Alcotest.test_case "average makespan" `Quick test_average_makespan;
+          Alcotest.test_case "parallel = serial (CKPT_DOMAINS)" `Quick
+            test_evaluation_parallel_deterministic;
+          Alcotest.test_case "no nan in printed tables" `Quick test_evaluation_no_nan_printed;
+          Alcotest.test_case "trace cache reuse" `Quick test_trace_cache_reuses_sets;
           Alcotest.test_case "invalid" `Quick test_evaluation_invalid;
         ] );
       ( "period search",
         [
           Alcotest.test_case "default factors" `Quick test_default_factors;
           Alcotest.test_case "best period" `Quick test_best_period_sane;
+          Alcotest.test_case "fallback never zero" `Quick test_best_period_fallback_not_zero;
           Alcotest.test_case "sweep" `Quick test_sweep;
         ] );
       ( "theory vs simulation",
