@@ -14,7 +14,18 @@
    3. An evaluation-throughput benchmark (replicates/second of
       [Evaluation.degradation_table] on a small Weibull table, serial
       vs parallel), written to BENCH_eval.json so successive PRs can
-      track the trajectory.  Skip with CKPT_SKIP_EVAL_BENCH=1. *)
+      track the trajectory.  The new throughput is compared against
+      the committed BENCH_eval.json: a drop beyond 2% is reported, and
+      fails the run under CKPT_BENCH_ASSERT=1 (tracing stays disabled
+      here, so this doubles as the telemetry zero-overhead check).
+      Skip with CKPT_SKIP_EVAL_BENCH=1.
+
+   4. A telemetry benchmark: the same engine run with tracing off vs
+      on (per-run ring buffer), reporting events/second and the
+      relative overhead, written to BENCH_telemetry.json.  Skip with
+      CKPT_SKIP_TELEMETRY_BENCH=1.
+
+   Every BENCH_*.json gains a provenance sidecar (<file>.meta.json). *)
 
 open Bechamel
 open Toolkit
@@ -25,6 +36,7 @@ module S = Ckpt_simulator
 module F = Ckpt_failures
 module C = Ckpt_core
 module E = Ckpt_experiments
+module T = Ckpt_telemetry
 
 (* -- stage 1: regenerate the paper ---------------------------------------- *)
 
@@ -292,10 +304,49 @@ let timed_eval_table ~domains =
       in
       (table, Unix.gettimeofday () -. t0))
 
+(* The committed BENCH_eval.json is the previous PR's throughput: a
+   crude single-field scan is enough to recover one number from it. *)
+let previous_json_field ~path ~field =
+  try
+    let ic = open_in path in
+    let contents =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let needle = Printf.sprintf "\"%s\":" field in
+    let rec find i =
+      if i + String.length needle > String.length contents then None
+      else if String.sub contents i (String.length needle) = needle then
+        Some (i + String.length needle)
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> None
+    | Some start ->
+        let stop = ref start in
+        while
+          !stop < String.length contents && not (String.contains ",}\n" contents.[!stop])
+        do
+          incr stop
+        done;
+        float_of_string_opt (String.trim (String.sub contents start (!stop - start)))
+  with Sys_error _ | End_of_file -> None
+
+let write_bench_json ~path ~meta contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  T.Provenance.write_sidecar ~extra:meta ~path ();
+  Printf.printf "wrote %s (and %s)\n%!" path (T.Provenance.sidecar_path path)
+
 let run_eval_bench () =
   Printf.printf
     "\n=== Evaluation throughput (%d-replicate Weibull table, %d processors) ===\n%!"
     eval_bench_replicates eval_bench_processors;
+  let previous =
+    previous_json_field ~path:"BENCH_eval.json" ~field:"parallel_replicates_per_sec"
+  in
   let domains = Ckpt_parallel.Domain_pool.recommended_domains () in
   let serial_table, serial_s = timed_eval_table ~domains:1 in
   let parallel_table, parallel_s = timed_eval_table ~domains in
@@ -309,29 +360,97 @@ let run_eval_bench () =
     (if serial_table = parallel_table then "parallel table == serial table"
      else "MISMATCH between serial and parallel tables");
   if serial_table <> parallel_table then exit 1;
-  let oc = open_out "BENCH_eval.json" in
-  Printf.fprintf oc
-    "{\n\
-    \  \"bench\": \"evaluation-throughput\",\n\
-    \  \"replicates\": %d,\n\
-    \  \"processors\": %d,\n\
-    \  \"policies\": 3,\n\
-    \  \"distribution\": \"weibull(k=0.7)\",\n\
-    \  \"domains\": %d,\n\
-    \  \"serial_seconds\": %.6f,\n\
-    \  \"parallel_seconds\": %.6f,\n\
-    \  \"serial_replicates_per_sec\": %.3f,\n\
-    \  \"parallel_replicates_per_sec\": %.3f,\n\
-    \  \"speedup\": %.3f,\n\
-    \  \"deterministic\": true\n\
-     }\n"
-    eval_bench_replicates eval_bench_processors domains serial_s parallel_s
-    (throughput serial_s) (throughput parallel_s) speedup;
-  close_out oc;
-  Printf.printf "wrote BENCH_eval.json\n%!"
+  (* Telemetry must cost nothing when off: tracing/metrics are
+     disabled here, so a throughput drop beyond 2% against the
+     committed baseline is a regression.  Wall-clock baselines from
+     other machines are noisy, so the comparison is reported always
+     but only enforced under CKPT_BENCH_ASSERT=1. *)
+  (match previous with
+  | Some prev when prev > 0. ->
+      let ratio = throughput parallel_s /. prev in
+      Printf.printf "vs committed BENCH_eval.json: %.1f%% of previous throughput (%.2f/s)\n%!"
+        (100. *. ratio) prev;
+      if ratio < 0.98 then
+        if Sys.getenv_opt "CKPT_BENCH_ASSERT" = Some "1" then begin
+          Printf.eprintf "FAIL: throughput dropped more than 2%% below the baseline\n%!";
+          exit 1
+        end
+        else
+          Printf.printf
+            "WARNING: more than 2%% below the baseline (set CKPT_BENCH_ASSERT=1 to enforce)\n%!"
+  | Some _ | None -> Printf.printf "no previous BENCH_eval.json baseline to compare against\n%!");
+  write_bench_json ~path:"BENCH_eval.json"
+    ~meta:[ ("bench", "evaluation-throughput") ]
+    (Printf.sprintf
+       "{\n\
+       \  \"bench\": \"evaluation-throughput\",\n\
+       \  \"replicates\": %d,\n\
+       \  \"processors\": %d,\n\
+       \  \"policies\": 3,\n\
+       \  \"distribution\": \"weibull(k=0.7)\",\n\
+       \  \"domains\": %d,\n\
+       \  \"serial_seconds\": %.6f,\n\
+       \  \"parallel_seconds\": %.6f,\n\
+       \  \"serial_replicates_per_sec\": %.3f,\n\
+       \  \"parallel_replicates_per_sec\": %.3f,\n\
+       \  \"speedup\": %.3f,\n\
+       \  \"deterministic\": true\n\
+        }\n"
+       eval_bench_replicates eval_bench_processors domains serial_s parallel_s
+       (throughput serial_s) (throughput parallel_s) speedup)
+
+(* -- stage 4: telemetry overhead -------------------------------------------- *)
+
+let telemetry_bench_runs = 32
+
+let run_telemetry_bench () =
+  Printf.printf "\n=== Telemetry (engine run with tracing off vs on, %d runs each) ===\n%!"
+    telemetry_bench_runs;
+  let policy = Po.Dp_policies.dp_next_failure peta_weib_job in
+  let scenario = peta_weib_scenario and traces = peta_weib_traces in
+  (* Warm both paths (DP tables, allocator) outside the timed loops. *)
+  ignore (S.Engine.run ~scenario ~traces ~policy);
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to telemetry_bench_runs do
+      f ()
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  let off_s = timed (fun () -> ignore (S.Engine.run ~scenario ~traces ~policy)) in
+  let events = ref 0 in
+  let on_s =
+    timed (fun () ->
+        let buf = T.Tracer.create_buffer ~name:"bench" () in
+        ignore (S.Engine.run_traced ~trace:buf ~scenario ~traces ~policy);
+        events := !events + T.Tracer.length buf + T.Tracer.dropped buf)
+  in
+  let events_per_sec = float_of_int !events /. on_s in
+  let overhead_pct = 100. *. ((on_s /. off_s) -. 1.) in
+  Printf.printf "tracing off: %8.4f s   tracing on: %8.4f s   overhead %+.1f%%\n" off_s on_s
+    overhead_pct;
+  Printf.printf "%d events captured, %.3g events/s\n%!" !events events_per_sec;
+  write_bench_json ~path:"BENCH_telemetry.json"
+    ~meta:[ ("bench", "telemetry-overhead") ]
+    (Printf.sprintf
+       "{\n\
+       \  \"bench\": \"telemetry-overhead\",\n\
+       \  \"runs\": %d,\n\
+       \  \"processors\": %d,\n\
+       \  \"policy\": \"DPNextFailure\",\n\
+       \  \"distribution\": \"weibull(k=0.7)\",\n\
+       \  \"tracing_off_seconds\": %.6f,\n\
+       \  \"tracing_on_seconds\": %.6f,\n\
+       \  \"tracing_overhead_percent\": %.2f,\n\
+       \  \"events\": %d,\n\
+       \  \"events_per_sec\": %.1f\n\
+        }\n"
+       telemetry_bench_runs eval_bench_processors off_s on_s overhead_pct !events
+       events_per_sec)
 
 let () =
   let skip name = Sys.getenv_opt name = Some "1" in
   if not (skip "CKPT_SKIP_EXPERIMENTS") then run_experiments ();
   if not (skip "CKPT_SKIP_MICRO") then run_micro ();
-  if not (skip "CKPT_SKIP_EVAL_BENCH") then run_eval_bench ()
+  if not (skip "CKPT_SKIP_EVAL_BENCH") then run_eval_bench ();
+  if not (skip "CKPT_SKIP_TELEMETRY_BENCH") then run_telemetry_bench ()

@@ -6,6 +6,8 @@
      schedule     a policy's failure-free checkpoint timetable
      mtbf         platform MTBF under both rejuvenation options
      waste        first-order waste analysis (Young's back-of-envelope)
+     trace        trace one execution: event timeline + metrics reconciliation
+     stats        run an evaluation with the metrics registry enabled
      trace-stats  generate traces and report their empirical statistics
      gen-log      write a synthetic LANL-style availability log
      fit-log      MLE-fit lifetime models to an availability log
@@ -19,6 +21,7 @@ module S = Ckpt_simulator
 module F = Ckpt_failures
 module C = Ckpt_core
 module E = Ckpt_experiments
+module T = Ckpt_telemetry
 
 (* -- shared argument bundles ------------------------------------------- *)
 
@@ -67,6 +70,25 @@ let job ~mtbf_hours ~shape ~processors ~checkpoint ~downtime ~work_days =
       ~overhead:(P.Overhead.constant checkpoint)
   in
   Po.Job.create ~dist ~processors ~machine ~work_time:(work_days *. P.Units.day)
+
+(* Shared by schedule/trace: a policy by its roster name.  The
+   period-search policy needs the scenario (it tunes on traces). *)
+let policy_of_name ?scenario job name =
+  match String.lowercase_ascii name with
+  | "young" -> Po.Young.policy job
+  | "dalylow" -> Po.Daly.low job
+  | "dalyhigh" -> Po.Daly.high job
+  | "optexp" -> Po.Optexp.policy job
+  | "bouguerra" -> Po.Bouguerra.policy job
+  | "liu" -> Po.Liu.policy job
+  | "dpnf" | "dpnextfailure" -> Po.Dp_policies.dp_next_failure job
+  | "dpmakespan" -> Po.Dp_policies.dp_makespan job
+  | "periodvariation" | "search" -> begin
+      match scenario with
+      | Some scenario -> S.Period_search.policy scenario
+      | None -> failwith "the period-search policy needs simulated traces"
+    end
+  | other -> failwith (Printf.sprintf "unknown policy %S" other)
 
 (* -- period ------------------------------------------------------------ *)
 
@@ -180,17 +202,7 @@ let schedule_cmd =
   in
   let run mtbf_hours shape processors checkpoint downtime work_days policy_name out =
     let job = job ~mtbf_hours ~shape ~processors ~checkpoint ~downtime ~work_days in
-    let policy =
-      match String.lowercase_ascii policy_name with
-      | "young" -> Po.Young.policy job
-      | "dalylow" -> Po.Daly.low job
-      | "dalyhigh" -> Po.Daly.high job
-      | "optexp" -> Po.Optexp.policy job
-      | "bouguerra" -> Po.Bouguerra.policy job
-      | "liu" -> Po.Liu.policy job
-      | "dpnf" | "dpnextfailure" -> Po.Dp_policies.dp_next_failure job
-      | other -> failwith (Printf.sprintf "unknown policy %S" other)
-    in
+    let policy = policy_of_name job policy_name in
     let entries = Po.Schedule.failure_free policy job in
     (match Po.Schedule.interval_range entries with
     | None -> print_endline "the policy declines to produce a timetable"
@@ -294,6 +306,117 @@ let fit_log_cmd =
        ~doc:"Fit Exponential/Weibull/LogNormal models to an availability log by MLE.")
     term
 
+(* -- trace ------------------------------------------------------------------- *)
+
+let trace_cmd =
+  let policy_arg =
+    let doc =
+      "Policy: young | dalylow | dalyhigh | optexp | bouguerra | liu | dpnf | dpmakespan | \
+       search."
+    in
+    Arg.(value & opt string "dpnf" & info [ "policy" ] ~docv:"NAME" ~doc)
+  in
+  let replicate_arg =
+    Arg.(value & opt int 0 & info [ "replicate" ] ~docv:"N" ~doc:"Trace-set replicate index.")
+  in
+  let out_arg =
+    let doc = "Write the trace (*.jsonl, or Chrome trace_event JSON otherwise)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"PATH" ~doc)
+  in
+  let limit_arg =
+    Arg.(value & opt int 40 & info [ "limit" ] ~docv:"N" ~doc:"Timeline events to print.")
+  in
+  let run mtbf_hours shape processors checkpoint downtime work_days seed policy_name replicate
+      out limit =
+    let job = job ~mtbf_hours ~shape ~processors ~checkpoint ~downtime ~work_days in
+    let scenario = S.Scenario.create ~seed:(Int64.of_int seed) job in
+    let policy = policy_of_name ~scenario job policy_name in
+    let traces = S.Scenario.traces scenario ~replicate in
+    let buf =
+      T.Tracer.create_buffer
+        ~name:(Printf.sprintf "rep%d/%s" replicate policy.Po.Policy.name)
+        ()
+    in
+    (match S.Engine.run_traced ~trace:buf ~scenario ~traces ~policy with
+    | S.Engine.Policy_failed { at_time; remaining } ->
+        Printf.printf "%s failed at t = %.0f s with %.0f s of work left\n"
+          policy.Po.Policy.name at_time remaining
+    | S.Engine.Completed m ->
+        let open S.Engine in
+        Printf.printf "%s: makespan %.0f s\n" policy.Po.Policy.name m.makespan;
+        List.iter
+          (fun (label, v) ->
+            Printf.printf "  %-16s %14.1f s  (%5.1f%%)\n" label v (100. *. v /. m.makespan))
+          [
+            ("useful work", m.useful_work);
+            ("checkpoints", m.checkpoint_time);
+            ("wasted", m.wasted_time);
+            ("recoveries", m.recovery_time);
+            ("downtime stalls", m.stall_time);
+          ];
+        Printf.printf "  %d failures, %d chunks (%.0f .. %.0f s)\n" m.failures m.chunks
+          m.min_chunk m.max_chunk;
+        let t = T.Tracer.totals buf in
+        Printf.printf
+          "trace: %d events (%d dropped); spans sum to work %.1f, checkpoint %.1f, waste \
+           %.1f, recovery %.1f, downtime %.1f\n"
+          (T.Tracer.length buf) (T.Tracer.dropped buf) t.T.Tracer.work t.T.Tracer.checkpoint
+          t.T.Tracer.waste t.T.Tracer.recovery t.T.Tracer.downtime);
+    Format.printf "%a@." (T.Tracer.pp_timeline ~limit) buf;
+    match out with
+    | None -> ()
+    | Some path ->
+        T.Trace_export.write ~path [ buf ];
+        T.Provenance.write_sidecar
+          ~extra:
+            [
+              ("policy", policy.Po.Policy.name);
+              ("replicate", string_of_int replicate);
+              ("seed", string_of_int seed);
+            ]
+          ~path ();
+        Printf.printf "wrote %s (and %s)\n" path (T.Provenance.sidecar_path path)
+  in
+  let term =
+    Term.(
+      const run $ mtbf_arg $ shape_arg $ processors_arg $ checkpoint_arg $ downtime_arg
+      $ work_days_arg $ seed_arg $ policy_arg $ replicate_arg $ out_arg $ limit_arg)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Trace one execution: typed event timeline, waste breakdown, trace_event export.")
+    term
+
+(* -- stats ------------------------------------------------------------------- *)
+
+let stats_cmd =
+  let run mtbf_hours shape processors checkpoint downtime work_days traces seed =
+    T.Metrics.set_enabled true;
+    let job = job ~mtbf_hours ~shape ~processors ~checkpoint ~downtime ~work_days in
+    let scenario = S.Scenario.create ~seed:(Int64.of_int seed) job in
+    let dp_makespan = shape = None in
+    let policies =
+      [ Po.Young.policy job; Po.Daly.low job; Po.Daly.high job; Po.Optexp.policy job;
+        Po.Bouguerra.policy job; Po.Liu.policy job; S.Period_search.policy scenario;
+        Po.Dp_policies.dp_next_failure job ]
+      @ (if dp_makespan then [ Po.Dp_policies.dp_makespan job ] else [])
+    in
+    let table = S.Evaluation.degradation_table ~scenario ~policies ~replicates:traces in
+    Format.printf "%a@." S.Evaluation.pp_table table;
+    Format.printf "metrics registry:@.%a@." T.Metrics.pp_snapshot (T.Metrics.snapshot ())
+  in
+  let term =
+    Term.(
+      const run $ mtbf_arg $ shape_arg $ processors_arg $ checkpoint_arg $ downtime_arg
+      $ work_days_arg $ traces_arg $ seed_arg)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Evaluate the policy roster with the metrics registry enabled and print every \
+          counter, timer and histogram.")
+    term
+
 (* -- experiment ------------------------------------------------------------ *)
 
 let experiment_cmd =
@@ -333,6 +456,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            period_cmd; simulate_cmd; schedule_cmd; mtbf_cmd; waste_cmd; trace_stats_cmd; gen_log_cmd;
-            fit_log_cmd; experiment_cmd;
+            period_cmd; simulate_cmd; schedule_cmd; mtbf_cmd; waste_cmd; trace_cmd; stats_cmd;
+            trace_stats_cmd; gen_log_cmd; fit_log_cmd; experiment_cmd;
           ]))

@@ -91,6 +91,14 @@ module Policies = struct
   module Schedule = Ckpt_policies.Schedule
 end
 
+(** Execution tracing, metrics and provenance manifests. *)
+module Telemetry = struct
+  module Metrics = Ckpt_telemetry.Metrics
+  module Tracer = Ckpt_telemetry.Tracer
+  module Trace_export = Ckpt_telemetry.Trace_export
+  module Provenance = Ckpt_telemetry.Provenance
+end
+
 (** Discrete-event simulation and evaluation. *)
 module Simulator = struct
   module Scenario = Ckpt_simulator.Scenario

@@ -1,4 +1,12 @@
 module Distribution = Ckpt_distributions.Distribution
+module Metrics = Ckpt_telemetry.Metrics
+
+let cells_solved = Metrics.counter "dp_makespan/cells_solved"
+let tlost_hits = Metrics.counter "dp_makespan/tlost_cache_hits"
+let tlost_misses = Metrics.counter "dp_makespan/tlost_cache_misses"
+let solves = Metrics.counter "dp_makespan/solves"
+let quantum_gauge = Metrics.gauge "dp_makespan/quantum_seconds"
+let quantization_error = Metrics.gauge "dp_makespan/checkpoint_quantization_error"
 
 type t = {
   context : Dp_context.t;
@@ -31,8 +39,11 @@ let tlost t ~chunk_quanta ~age =
   let bucket = if age <= 1. then 0 else 1 + int_of_float (log age /. 0.05) in
   let key = (chunk_quanta * 1024) + bucket in
   match Hashtbl.find_opt t.tlost_cache key with
-  | Some v -> v
+  | Some v ->
+      Metrics.incr tlost_hits;
+      v
   | None ->
+      Metrics.incr tlost_misses;
       let window = (float_of_int chunk_quanta *. t.u) +. t.context.Dp_context.checkpoint in
       let v = Dp_context.expected_tlost t.context ~age ~window in
       Hashtbl.add t.tlost_cache key v;
@@ -82,6 +93,7 @@ let rec value t s =
     match Hashtbl.find_opt t.memo key with
     | Some v -> v
     | None ->
+        Metrics.incr cells_solved;
         let age = age_of t s in
         let successor i = fst (value t { x = s.x - i; fresh = s.fresh; y = s.y + i + t.c_u }) in
         let failure_value = t.post_recovery.(s.x) in
@@ -111,6 +123,12 @@ let solve ?quantum ?(cap_states = 2000) ?(chunk_factor = 6.) ~context ~work ~ini
   let u = work /. float_of_int x_max in
   let c_u = int_of_float (Float.round (context.Dp_context.checkpoint /. u)) in
   let chunk_cap = max 4 (int_of_float (ceil (chunk_factor *. young /. u))) in
+  Metrics.incr solves;
+  Metrics.set quantum_gauge u;
+  (* Seconds by which snapping C to a whole number of quanta misstates
+     the checkpoint in the age bookkeeping. *)
+  Metrics.set quantization_error
+    (Float.abs ((float_of_int c_u *. u) -. context.Dp_context.checkpoint));
   let t =
     {
       context;

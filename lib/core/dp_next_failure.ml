@@ -1,3 +1,9 @@
+module Metrics = Ckpt_telemetry.Metrics
+
+let solves = Metrics.counter "dp_next_failure/solves"
+let cells = Metrics.counter "dp_next_failure/cells_solved"
+let truncations = Metrics.counter "dp_next_failure/truncated_horizons"
+
 type plan = {
   chunks : float list;
   expected_work : float;
@@ -88,6 +94,9 @@ let solve ?(max_states = 150) ?(truncation_factor = 2.) ~context ~ages ~work () 
       best.(x).(n) <- !best_i
     done
   done;
+  Metrics.incr solves;
+  Metrics.add cells (x_max * (x_max + 1) / 2);
+  if truncated then Metrics.incr truncations;
   let chunks =
     let rec collect x n acc =
       if x = 0 then List.rev acc

@@ -108,8 +108,12 @@ let rec ensure_dir path =
     try Sys.mkdir path 0o755 with Sys_error _ -> ()
   end
 
-let write_csv ~path contents =
+let write_csv ?(meta = []) ~path contents =
   ensure_dir (Filename.dirname path);
   let oc = open_out path in
   output_string oc contents;
-  close_out oc
+  close_out oc;
+  (* Every artifact carries its provenance: "<path>.meta.json" with
+     the git revision, command line, CKPT_* knobs, domain count and
+     the caller's parameters. *)
+  Ckpt_telemetry.Provenance.write_sidecar ~extra:meta ~path ()

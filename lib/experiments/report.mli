@@ -26,8 +26,11 @@ val csv_of_table : Ckpt_simulator.Evaluation.table -> string
 (** One row per policy (LowerBound first): name, average degradation,
     standard deviation, average makespan, successes, failure stats. *)
 
-val write_csv : path:string -> string -> unit
-(** Create parent directory as needed and write the contents. *)
+val write_csv : ?meta:(string * string) list -> path:string -> string -> unit
+(** Create parent directory as needed and write the contents, plus a
+    provenance sidecar [<path>.meta.json]
+    ({!Ckpt_telemetry.Provenance}) with [meta] as its caller-supplied
+    parameters (e.g. scenario settings, seeds). *)
 
 val results_dir : unit -> string
 (** Where experiment CSVs land: [$CKPT_RESULTS_DIR] or ["results"]. *)

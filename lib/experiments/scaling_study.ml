@@ -68,6 +68,7 @@ let print t ~csv =
       ~options:{ Ascii_plot.default_options with log_x = true; height = 14 }
       series;
   Report.write_csv
+    ~meta:[ ("experiment", t.title) ]
     ~path:(Filename.concat (Report.results_dir ()) csv)
     (Report.csv_of_series ~x_label:"processors" series)
 

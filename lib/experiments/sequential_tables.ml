@@ -33,6 +33,7 @@ let print ?(config = Config.default ()) ~dist_kind () =
       Printf.printf "-- MTBF = %s --\n" r.mtbf_label;
       Report.print_table r.table;
       Report.write_csv
+        ~meta:[ ("mtbf", r.mtbf_label); ("distribution", name) ]
         ~path:
           (Filename.concat (Report.results_dir ())
              (Printf.sprintf "table%s_%s.csv" number

@@ -42,6 +42,7 @@ let print ?(config = Config.default ()) () =
   let t = run ~config () in
   Report.print_table t.table;
   Report.write_csv
+    ~meta:[ ("experiment", "Table 4: 45,208 processors, Weibull k=0.7") ]
     ~path:(Filename.concat (Report.results_dir ()) "table4.csv")
     (Report.csv_of_table t.table);
   Printf.printf

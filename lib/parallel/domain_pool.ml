@@ -1,3 +1,10 @@
+module Metrics = Ckpt_telemetry.Metrics
+
+let tasks_run = Metrics.counter "domain_pool/tasks"
+let inline_sweeps = Metrics.counter "domain_pool/inline_sweeps"
+let domains_spawned = Metrics.counter "domain_pool/domains_spawned"
+let early_aborts = Metrics.counter "domain_pool/early_aborts"
+
 let recommended_domains () =
   match Sys.getenv_opt "CKPT_DOMAINS" with
   | Some s -> begin
@@ -18,7 +25,11 @@ let in_parallel_region () = Domain.DLS.get in_region_key
 let parallel_init ?domains n f =
   if n < 0 then invalid_arg "Domain_pool.parallel_init: negative size";
   let domains = match domains with Some d -> d | None -> recommended_domains () in
-  if domains <= 1 || n <= 1 || in_parallel_region () then Array.init n f
+  if domains <= 1 || n <= 1 || in_parallel_region () then begin
+    Metrics.incr inline_sweeps;
+    Metrics.add tasks_run n;
+    Array.init n f
+  end
   else begin
     let results = Array.make n None in
     let first_error = Atomic.make None in
@@ -30,11 +41,15 @@ let parallel_init ?domains n f =
         (* Once a task has failed the sweep's outcome is decided:
            stop claiming so the failure surfaces promptly instead of
            burning the rest of the grid. *)
-        if Atomic.get first_error <> None then continue := false
+        if Atomic.get first_error <> None then begin
+          Metrics.incr early_aborts;
+          continue := false
+        end
         else begin
           let i = Atomic.fetch_and_add next 1 in
           if i >= n then continue := false
           else begin
+            Metrics.incr tasks_run;
             match f i with
             | v -> results.(i) <- Some v
             | exception e -> ignore (Atomic.compare_and_set first_error None (Some e))
@@ -43,6 +58,7 @@ let parallel_init ?domains n f =
       done
     in
     let spawned = List.init (min domains n - 1) (fun _ -> Domain.spawn worker) in
+    Metrics.add domains_spawned (List.length spawned);
     Fun.protect
       ~finally:(fun () -> Domain.DLS.set in_region_key false)
       worker;

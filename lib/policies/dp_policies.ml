@@ -1,6 +1,11 @@
 module Age_summary = Ckpt_core.Age_summary
 module Dp_makespan = Ckpt_core.Dp_makespan
 module Dp_next_failure = Ckpt_core.Dp_next_failure
+module Metrics = Ckpt_telemetry.Metrics
+
+let table_hits = Metrics.counter "dp_makespan/table_cache_hits"
+let table_misses = Metrics.counter "dp_makespan/table_cache_misses"
+let replans = Metrics.counter "dp_next_failure/replans"
 
 (* DPMakespan tables are shared across executions whose initial age
    falls in the same 50%-geometric bucket: at the month-plus ages where
@@ -28,8 +33,11 @@ let dp_makespan ?quantum ?cap_states ?chunk_factor job =
     let tables = Domain.DLS.get tables_key in
     let bucket = age_bucket tau0 in
     match Hashtbl.find_opt tables bucket with
-    | Some t -> t
+    | Some t ->
+        Metrics.incr table_hits;
+        t
     | None ->
+        Metrics.incr table_misses;
         let t =
           Dp_makespan.solve ?quantum ?cap_states ?chunk_factor ~context ~work
             ~initial_age:(bucket_age bucket) ()
@@ -85,6 +93,7 @@ let dp_next_failure ?(nexact = Age_summary.default_nexact)
     let pending = ref [] in
     let budget = ref 0. in
     let replan (obs : Policy.observation) =
+      Metrics.incr replans;
       let context = context_at ~remaining:obs.Policy.remaining in
       let ages =
         Age_summary.build ~nexact ~napprox context.Ckpt_core.Dp_context.dist ~processors:units

@@ -1,6 +1,7 @@
 module Job = Ckpt_policies.Job
 module Policy = Ckpt_policies.Policy
 module Trace_set = Ckpt_failures.Trace_set
+module Tracer = Ckpt_telemetry.Tracer
 
 type metrics = {
   makespan : float;
@@ -21,6 +22,9 @@ type outcome = Completed of metrics | Policy_failed of { at_time : float; remain
    omniscient lower bound. *)
 type state = {
   job : Job.t;
+  trace : Tracer.buffer option;
+      (* when tracing, every phase transition below also emits a typed
+         event; the disabled path is one match per site. *)
   events : (float * int) array;  (* merged (date, processor), sorted *)
   mutable event_index : int;
   lifetime_start : float array;  (* per processor *)
@@ -43,13 +47,14 @@ type state = {
   mutable max_chunk : float;
 }
 
-let make_state ~scenario ~traces =
+let make_state ~trace ~scenario ~traces =
   let job = scenario.Scenario.job in
   let lifetime_start = Scenario.initial_lifetime_starts scenario traces in
   let start_time = scenario.Scenario.start_time in
   let last_failure_ref = Array.fold_left Float.max neg_infinity lifetime_start in
   {
     job;
+    trace;
     events = Trace_set.events traces;
     event_index = Trace_set.next_event_index traces ~after:start_time;
     lifetime_start;
@@ -96,6 +101,9 @@ let consume_event st = st.event_index <- st.event_index + 1
    which the platform is whole again. *)
 let rec settle_downtime st ~date ~proc =
   let d = Job.downtime st.job in
+  (match st.trace with
+  | Some b -> Tracer.emit b (Tracer.Failure { at = date; proc })
+  | None -> ());
   st.failures <- st.failures + 1;
   st.down_until.(proc) <- date +. d;
   st.lifetime_start.(proc) <- date +. d;
@@ -113,20 +121,34 @@ let rec settle_downtime st ~date ~proc =
    On return, [st.now] is the instant the job can resume computing. *)
 let handle_failure st ~date ~proc ~r =
   let rec recover ready =
+    (match st.trace with
+    | Some b ->
+        Tracer.emit b (Tracer.Downtime { t0 = st.now; t1 = ready });
+        Tracer.emit b (Tracer.Recovery_start { at = ready })
+    | None -> ());
     st.stall_time <- st.stall_time +. (ready -. st.now);
     st.now <- ready;
     match peek_effective_failure st ~before:(ready +. r) with
     | None ->
+        (match st.trace with
+        | Some b -> Tracer.emit b (Tracer.Recovery_complete { t0 = ready; t1 = ready +. r })
+        | None -> ());
         st.recovery_time <- st.recovery_time +. r;
         st.now <- ready +. r
     | Some (date', proc') ->
         consume_event st;
+        (match st.trace with
+        | Some b -> Tracer.emit b (Tracer.Recovery_abort { t0 = ready; t1 = date' })
+        | None -> ());
         st.recovery_time <- st.recovery_time +. (date' -. ready);
         st.now <- date';
         let ready' = settle_downtime st ~date:date' ~proc:proc' in
         recover ready'
   in
   consume_event st;
+  (match st.trace with
+  | Some b -> Tracer.emit b (Tracer.Waste { t0 = st.now; t1 = date })
+  | None -> ());
   st.wasted_time <- st.wasted_time +. (date -. st.now);
   st.now <- date;
   let ready = settle_downtime st ~date ~proc in
@@ -159,8 +181,8 @@ let record_chunk st chunk =
 
 let work_epsilon = 1e-6
 
-let run_internal ~cost_profile ~scenario ~traces ~policy =
-  let st = make_state ~scenario ~traces in
+let run_internal ~trace ~cost_profile ~scenario ~traces ~policy =
+  let st = make_state ~trace ~scenario ~traces in
   let constant_c = Job.checkpoint_cost st.job in
   let constant_r = Job.recovery_cost st.job in
   let work_time = st.job.Job.work_time in
@@ -199,9 +221,20 @@ let run_internal ~cost_profile ~scenario ~traces ~policy =
              committed checkpoint). *)
           let c, _ = costs_at ~remaining:(st.remaining -. chunk) in
           let _, r = costs_at ~remaining:st.remaining in
+          (match st.trace with
+          | Some b ->
+              Tracer.emit b (Tracer.Decision { at = st.now; chunk; remaining = st.remaining });
+              Tracer.emit b (Tracer.Chunk_start { at = st.now; work = chunk })
+          | None -> ());
           let finish = st.now +. chunk +. c in
           (match peek_effective_failure st ~before:finish with
           | None ->
+              (match st.trace with
+              | Some b ->
+                  Tracer.emit b
+                    (Tracer.Chunk_commit { t0 = st.now; t1 = st.now +. chunk; work = chunk });
+                  Tracer.emit b (Tracer.Checkpoint { t0 = st.now +. chunk; t1 = finish })
+              | None -> ());
               st.now <- finish;
               st.remaining <- st.remaining -. chunk;
               st.useful_work <- st.useful_work +. chunk;
@@ -215,14 +248,22 @@ let run_internal ~cost_profile ~scenario ~traces ~policy =
   done;
   Option.get !outcome
 
-let lower_bound ~scenario ~traces =
-  let st = make_state ~scenario ~traces in
+let lower_bound_internal ~trace ~scenario ~traces =
+  let st = make_state ~trace ~scenario ~traces in
   let c = Job.checkpoint_cost st.job in
+  let emit_committed ~t0 ~chunk =
+    match st.trace with
+    | Some b ->
+        Tracer.emit b (Tracer.Chunk_commit { t0; t1 = t0 +. chunk; work = chunk });
+        Tracer.emit b (Tracer.Checkpoint { t0 = t0 +. chunk; t1 = t0 +. chunk +. c })
+    | None -> ()
+  in
   while st.remaining > work_epsilon do
     match peek_effective_failure st ~before:infinity with
     | None ->
         (* Failure-free to the horizon: finish in one chunk. *)
         let chunk = st.remaining in
+        emit_committed ~t0:st.now ~chunk;
         st.now <- st.now +. chunk +. c;
         st.useful_work <- st.useful_work +. chunk;
         st.checkpoint_time <- st.checkpoint_time +. c;
@@ -233,6 +274,7 @@ let lower_bound ~scenario ~traces =
         if st.remaining +. c <= available then begin
           (* The job finishes before the failure strikes. *)
           let chunk = st.remaining in
+          emit_committed ~t0:st.now ~chunk;
           st.now <- st.now +. chunk +. c;
           st.useful_work <- st.useful_work +. chunk;
           st.checkpoint_time <- st.checkpoint_time +. c;
@@ -244,21 +286,38 @@ let lower_bound ~scenario ~traces =
             (* Work as much as possible, checkpointing just in time:
                the checkpoint commits exactly when the failure hits. *)
             let chunk = available -. c in
+            emit_committed ~t0:st.now ~chunk;
             st.useful_work <- st.useful_work +. chunk;
             st.checkpoint_time <- st.checkpoint_time +. c;
             st.remaining <- st.remaining -. chunk;
             record_chunk st chunk
           end
-          else
+          else begin
             (* Too close to the failure to save anything: idle. *)
-            st.wasted_time <- st.wasted_time +. available;
+            (match st.trace with
+            | Some b -> Tracer.emit b (Tracer.Waste { t0 = st.now; t1 = date })
+            | None -> ());
+            st.wasted_time <- st.wasted_time +. available
+          end;
           st.now <- date;
           handle_failure st ~date ~proc ~r:(Job.recovery_cost st.job)
         end
   done;
   metrics_of st
 
-let run ~scenario ~traces ~policy = run_internal ~cost_profile:None ~scenario ~traces ~policy
+let lower_bound ~scenario ~traces = lower_bound_internal ~trace:None ~scenario ~traces
+
+let lower_bound_traced ~trace ~scenario ~traces =
+  lower_bound_internal ~trace:(Some trace) ~scenario ~traces
+
+let run ~scenario ~traces ~policy =
+  run_internal ~trace:None ~cost_profile:None ~scenario ~traces ~policy
+
+let run_traced ~trace ~scenario ~traces ~policy =
+  run_internal ~trace:(Some trace) ~cost_profile:None ~scenario ~traces ~policy
 
 let run_with_cost_profile ~cost_profile ~scenario ~traces ~policy =
-  run_internal ~cost_profile:(Some cost_profile) ~scenario ~traces ~policy
+  run_internal ~trace:None ~cost_profile:(Some cost_profile) ~scenario ~traces ~policy
+
+let run_with_cost_profile_traced ~trace ~cost_profile ~scenario ~traces ~policy =
+  run_internal ~trace:(Some trace) ~cost_profile:(Some cost_profile) ~scenario ~traces ~policy

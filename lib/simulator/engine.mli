@@ -46,6 +46,19 @@ val run :
 (** Simulate one execution with the job's constant [C(p) = R(p)].  The
     trace set must cover the scenario's processors and horizon. *)
 
+val run_traced :
+  trace:Ckpt_telemetry.Tracer.buffer ->
+  scenario:Scenario.t ->
+  traces:Ckpt_failures.Trace_set.t ->
+  policy:Ckpt_policies.Policy.t ->
+  outcome
+(** Like {!run}, but emits a typed event for every phase transition
+    (policy decision, chunk start/commit, checkpoint, failure, waste,
+    downtime, recovery start/abort/complete) into [trace]; summed span
+    durations reconcile with the returned {!metrics} (see
+    [Ckpt_telemetry.Tracer.totals]).  The untraced entry points cost
+    one [match] per site. *)
+
 val run_with_cost_profile :
   cost_profile:(progress:float -> float * float) ->
   scenario:Scenario.t ->
@@ -60,9 +73,25 @@ val run_with_cost_profile :
     checkpoint is charged at the progress the chunk {e ends} at, a
     recovery at the progress being restored. *)
 
+val run_with_cost_profile_traced :
+  trace:Ckpt_telemetry.Tracer.buffer ->
+  cost_profile:(progress:float -> float * float) ->
+  scenario:Scenario.t ->
+  traces:Ckpt_failures.Trace_set.t ->
+  policy:Ckpt_policies.Policy.t ->
+  outcome
+(** {!run_with_cost_profile} with the event stream of {!run_traced}. *)
+
 val lower_bound :
   scenario:Scenario.t -> traces:Ckpt_failures.Trace_set.t -> metrics
 (** The omniscient LowerBound of Section 4.1: knows every failure date
     and checkpoints exactly [C(p)] ahead of each, so it never wastes
     execution time; unattainable in practice, serves as the absolute
     reference. *)
+
+val lower_bound_traced :
+  trace:Ckpt_telemetry.Tracer.buffer ->
+  scenario:Scenario.t ->
+  traces:Ckpt_failures.Trace_set.t ->
+  metrics
+(** {!lower_bound} with the event stream of {!run_traced}. *)

@@ -1,6 +1,15 @@
 module Policy = Ckpt_policies.Policy
 module Summary = Ckpt_numerics.Summary
 module Domain_pool = Ckpt_parallel.Domain_pool
+module Metrics = Ckpt_telemetry.Metrics
+module Tracer = Ckpt_telemetry.Tracer
+module Trace_export = Ckpt_telemetry.Trace_export
+
+(* Replicate wall-clock latency (seconds), across all policies of the
+   replicate; fills under CKPT_METRICS=1. *)
+let replicate_seconds = Metrics.histogram "eval/replicate_seconds"
+let replicates_run = Metrics.counter "eval/replicates"
+let unusable_replicates = Metrics.counter "eval/unusable_replicates"
 
 type policy_result = {
   policy_name : string;
@@ -90,13 +99,24 @@ type replicate_outcome = {
 }
 
 let run_replicate ~scenario ~policies replicate =
+  let tracing = Tracer.enabled () in
+  let metered = Metrics.enabled () in
+  let t_start = if metered then Unix.gettimeofday () else 0. in
   let traces =
     Instrument.time "trace-generation" (fun () -> Scenario.traces scenario ~replicate)
   in
+  let traced_run ~policy =
+    if not tracing then Engine.run ~scenario ~traces ~policy
+    else begin
+      let buf = Tracer.create_buffer ~name:(Printf.sprintf "rep%d/%s" replicate policy.Policy.name) () in
+      let outcome = Engine.run_traced ~trace:buf ~scenario ~traces ~policy in
+      Tracer.register buf;
+      outcome
+    end
+  in
   let runs =
     Array.map
-      (fun policy ->
-        Instrument.time policy.Policy.name (fun () -> Engine.run ~scenario ~traces ~policy))
+      (fun policy -> Instrument.time policy.Policy.name (fun () -> traced_run ~policy))
       policies
   in
   let best =
@@ -117,8 +137,24 @@ let run_replicate ~scenario ~policies replicate =
         | Engine.Completed m -> record rep_accs.(i) ~degradation:(m.Engine.makespan /. best) m
         | Engine.Policy_failed _ -> ())
       runs;
-    let lb = Instrument.time "LowerBound" (fun () -> Engine.lower_bound ~scenario ~traces) in
+    let lb =
+      Instrument.time "LowerBound" (fun () ->
+          if not tracing then Engine.lower_bound ~scenario ~traces
+          else begin
+            let buf =
+              Tracer.create_buffer ~name:(Printf.sprintf "rep%d/LowerBound" replicate) ()
+            in
+            let lb = Engine.lower_bound_traced ~trace:buf ~scenario ~traces in
+            Tracer.register buf;
+            lb
+          end)
+    in
     record rep_lb ~degradation:(lb.Engine.makespan /. best) lb
+  end;
+  if metered then begin
+    Metrics.observe replicate_seconds (Unix.gettimeofday () -. t_start);
+    Metrics.incr replicates_run;
+    if not rep_usable then Metrics.incr unusable_replicates
   end;
   { rep_accs; rep_lb; rep_usable }
 
@@ -127,9 +163,13 @@ let degradation_table ~scenario ~policies ~replicates =
   if policies = [] then invalid_arg "Evaluation.degradation_table: no policies";
   (* Timers and progress are process-global; only a top-level table
      (not one nested inside a study's own fan-out, where several
-     tables run concurrently) resets and reports them. *)
+     tables run concurrently) resets and reports them — and when a
+     study claimed the timers with [Instrument.scoped], the scope owns
+     reset and report, so even a top-level table defers to it. *)
   let top_level = not (Domain_pool.in_parallel_region ()) in
-  if top_level then Instrument.reset ();
+  let owns_timers = top_level && not (Instrument.in_scope ()) in
+  if owns_timers then Instrument.reset ();
+  if Tracer.enabled () then Trace_export.ensure_at_exit ();
   let policy_array = Array.of_list policies in
   let progress =
     if top_level then Some (Instrument.progress ~label:"degradation_table" ~total:replicates)
@@ -154,7 +194,7 @@ let degradation_table ~scenario ~policies ~replicates =
       Array.iteri (fun i rep -> merge_into accs.(i) rep) o.rep_accs;
       merge_into lb_acc o.rep_lb)
     outcomes;
-  if top_level then begin
+  if owns_timers then begin
     let hits, misses = Scenario.cache_stats scenario in
     Instrument.info "trace cache: %d hits, %d misses" hits misses;
     Instrument.report ~label:"degradation_table" ()

@@ -1,16 +1,23 @@
 (* Lightweight observability for the long Monte-Carlo runs: per-label
-   wall-clock accumulation and replicate-progress reporting, all
-   behind CKPT_VERBOSE=1 so the default path costs one branch. *)
+   wall-clock accumulation and replicate-progress reporting.  Logging
+   is behind CKPT_VERBOSE=1 so the default path costs one branch; the
+   timers themselves live in the process-global Metrics registry
+   (names "stage/<label>") and also accumulate under CKPT_METRICS=1,
+   so `ckpt stats` can show stage timings without verbose logging. *)
+
+module Metrics = Ckpt_telemetry.Metrics
 
 let enabled_flag = lazy (Sys.getenv_opt "CKPT_VERBOSE" = Some "1")
 let enabled () = Lazy.force enabled_flag
+
+(* Timers accumulate whenever either consumer is live. *)
+let active () = enabled () || Metrics.enabled ()
+let stage_prefix = "stage/"
 
 let src = Logs.Src.create "ckpt.eval" ~doc:"Evaluation-harness instrumentation"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-(* Timers and progress counters are shared across domains: everything
-   below is either atomic or guarded by [lock]. *)
 let lock = Mutex.create ()
 
 let locked f =
@@ -48,33 +55,38 @@ let setup () = Lazy.force setup_once
 
 (* -- wall-clock accumulation ---------------------------------------------- *)
 
-type cell = { mutable seconds : float; mutable calls : int }
-
-let timers : (string, cell) Hashtbl.t = Hashtbl.create 16
-
 let time label f =
-  if not (enabled ()) then f ()
+  if not (active ()) then f ()
   else begin
+    (* Resolve the handle before the measured region: registration
+       takes the registry lock, the record itself only the timer's. *)
+    let t = Metrics.timer (stage_prefix ^ label) in
     let t0 = Unix.gettimeofday () in
-    Fun.protect f ~finally:(fun () ->
-        let dt = Unix.gettimeofday () -. t0 in
-        locked (fun () ->
-            match Hashtbl.find_opt timers label with
-            | Some c ->
-                c.seconds <- c.seconds +. dt;
-                c.calls <- c.calls + 1
-            | None -> Hashtbl.add timers label { seconds = dt; calls = 1 }))
+    Fun.protect f ~finally:(fun () -> Metrics.record t (Unix.gettimeofday () -. t0))
   end
 
-let reset () = locked (fun () -> Hashtbl.reset timers)
+let reset () = Metrics.reset ~prefix:stage_prefix ()
+
+let stage_rows () =
+  Metrics.snapshot ()
+  |> List.filter_map (fun (name, v) ->
+         match v with
+         | Metrics.Timer { seconds; calls }
+           when calls > 0
+                && String.length name > String.length stage_prefix
+                && String.sub name 0 (String.length stage_prefix) = stage_prefix ->
+             Some
+               ( String.sub name (String.length stage_prefix)
+                   (String.length name - String.length stage_prefix),
+                 seconds,
+                 calls )
+         | _ -> None)
+  |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
 
 let report ~label () =
   if enabled () then begin
     setup ();
-    let rows =
-      locked (fun () -> Hashtbl.fold (fun name c acc -> (name, c.seconds, c.calls) :: acc) timers [])
-      |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
-    in
+    let rows = stage_rows () in
     let total = List.fold_left (fun acc (_, s, _) -> acc +. s) 0. rows in
     if rows <> [] then begin
       Log.info (fun m -> m "%s: wall-clock by stage (%.2f s total across domains)" label total);
@@ -86,6 +98,24 @@ let report ~label () =
         rows
     end
   end
+
+(* -- per-study scoping ---------------------------------------------------- *)
+
+(* Stage timers are process-global, so two experiments run back to
+   back would double-count each other's stages unless someone resets
+   between them.  A scope marks one study as the owner of the timers:
+   it resets on entry, reports on exit, and anything running inside
+   (in particular [Evaluation.degradation_table]) leaves them alone. *)
+
+let scope_depth = Atomic.make 0
+let in_scope () = Atomic.get scope_depth > 0
+
+let scoped ~label f =
+  let outermost = Atomic.fetch_and_add scope_depth 1 = 0 in
+  if outermost then reset ();
+  Fun.protect f ~finally:(fun () ->
+      if outermost then report ~label ();
+      ignore (Atomic.fetch_and_add scope_depth (-1)))
 
 (* -- replicate progress --------------------------------------------------- *)
 

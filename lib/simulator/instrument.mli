@@ -1,10 +1,15 @@
 (** Observability for long evaluation runs.
 
     Grid studies at paper scale (600 replicates per cell) run for
-    hours; this module reports where the time goes.  Everything is
-    gated on the [CKPT_VERBOSE=1] environment variable — when unset,
-    {!time} is a single branch around the thunk and {!step} is a
-    no-op, so instrumented code paths cost nothing in normal runs.
+    hours; this module reports where the time goes.  Logging is gated
+    on the [CKPT_VERBOSE=1] environment variable — when unset and the
+    {!Ckpt_telemetry.Metrics} registry is disabled, {!time} is a
+    single branch around the thunk and {!step} is a no-op, so
+    instrumented code paths cost nothing in normal runs.
+
+    Timers are stored in the registry under ["stage/<label>"], so they
+    also accumulate (without any logging) under [CKPT_METRICS=1] and
+    show up in [ckpt stats] and {!Ckpt_telemetry.Metrics.snapshot}.
 
     Output goes through {!Logs} (source ["ckpt.eval"], level Info); if
     the application installed no reporter, a minimal stderr reporter
@@ -16,14 +21,27 @@ val enabled : unit -> bool
 
 val time : string -> (unit -> 'a) -> 'a
 (** [time label f] runs [f ()], accumulating its wall-clock time under
-    [label] (summed across domains) when enabled. *)
+    ["stage/" ^ label] (summed across domains) when enabled. *)
 
 val report : label:string -> unit -> unit
 (** Log the accumulated per-label wall-clock totals, largest first,
     prefixed by [label].  No-op when disabled or nothing was timed. *)
 
 val reset : unit -> unit
-(** Drop all accumulated timers (each evaluation reports its own). *)
+(** Drop all accumulated stage timers (each evaluation reports its
+    own).  Other registry metrics are untouched. *)
+
+val scoped : label:string -> (unit -> 'a) -> 'a
+(** [scoped ~label f] marks [f] as the owner of the stage timers: they
+    are reset on entry and reported under [label] on exit, and nested
+    evaluations skip their own reset/report (see {!in_scope}).  Used
+    by the experiment registry so that back-to-back studies in one
+    process do not double-count each other's stages.  Scopes do not
+    nest meaningfully — an inner scope defers entirely to the
+    outermost one. *)
+
+val in_scope : unit -> bool
+(** True while inside a {!scoped} call (any domain). *)
 
 type progress
 (** A shared replicate-progress counter. *)

@@ -2,6 +2,13 @@ module Job = Ckpt_policies.Job
 module Trace = Ckpt_failures.Trace
 module Trace_set = Ckpt_failures.Trace_set
 module Units = Ckpt_platform.Units
+module Metrics = Ckpt_telemetry.Metrics
+
+(* Registry mirrors of the per-scenario cache stats, aggregated over
+   every scenario in the process. *)
+let cache_hits = Metrics.counter "scenario/trace_cache_hits"
+let cache_misses = Metrics.counter "scenario/trace_cache_misses"
+let traces_generated = Metrics.counter "scenario/traces_generated"
 
 (* Generated trace sets are pure functions of (scenario, replicate),
    and several consumers ask for the same ones — the period search
@@ -66,6 +73,7 @@ let create ?(seed = 0x5EEDL) ?horizon ?start_time job =
   }
 
 let generate t ~replicate =
+  Metrics.incr traces_generated;
   Trace_set.generate ~seed:t.seed ~replicate t.job.Job.dist
     ~processors:(Job.failure_units t.job) ~horizon:t.horizon
 
@@ -83,9 +91,11 @@ let traces t ~replicate =
           match Hashtbl.find_opt c.table replicate with
           | Some v ->
               c.hits <- c.hits + 1;
+              Metrics.incr cache_hits;
               Some v
           | None ->
               c.misses <- c.misses + 1;
+              Metrics.incr cache_misses;
               None)
     with
     | Some v -> v

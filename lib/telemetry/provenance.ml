@@ -1,0 +1,76 @@
+(* Provenance manifests: enough context to regenerate any number we
+   write to disk.
+
+   Every CSV/JSON artifact gains a sidecar "<path>.meta.json"
+   recording the git revision, the exact command line, every CKPT_*
+   environment knob, the domain count and caller-supplied parameters
+   (scenario, seeds).  The sidecar is written unconditionally — it
+   costs one stat and a few hundred bytes, and reproducibility is not
+   an opt-in property. *)
+
+let json_escape = Trace_export.json_escape
+
+(* The git revision is a process-constant: one subprocess per process,
+   on first use. *)
+let git_describe =
+  lazy
+    (try
+       let ic = Unix.open_process_in "git describe --always --dirty --tags 2>/dev/null" in
+       let line = try input_line ic with End_of_file -> "" in
+       match Unix.close_process_in ic with
+       | Unix.WEXITED 0 when line <> "" -> line
+       | _ -> "unknown"
+     with _ -> "unknown")
+
+let ckpt_environment () =
+  Unix.environment () |> Array.to_list
+  |> List.filter_map (fun binding ->
+         match String.index_opt binding '=' with
+         | Some i when String.length binding >= 5 && String.sub binding 0 5 = "CKPT_" ->
+             Some (String.sub binding 0 i, String.sub binding (i + 1) (String.length binding - i - 1))
+         | _ -> None)
+  |> List.sort compare
+
+let domain_count () =
+  match Sys.getenv_opt "CKPT_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let quote s = Printf.sprintf "\"%s\"" (json_escape s)
+
+let manifest ?(extra = []) () =
+  let buf = Buffer.create 512 in
+  let field ?(last = false) k v =
+    Buffer.add_string buf (Printf.sprintf "  %s: %s%s\n" (quote k) v (if last then "" else ","))
+  in
+  Buffer.add_string buf "{\n";
+  field "schema" (quote "ckpt-provenance/1");
+  field "generated_at_unix" (Printf.sprintf "%.0f" (Unix.time ()));
+  field "git" (quote (Lazy.force git_describe));
+  field "command" (quote (String.concat " " (Array.to_list Sys.argv)));
+  field "ocaml" (quote Sys.ocaml_version);
+  field "domains" (string_of_int (domain_count ()));
+  field "env"
+    (Printf.sprintf "{%s}"
+       (String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s: %s" (quote k) (quote v))
+             (ckpt_environment ()))));
+  field ~last:true "parameters"
+    (Printf.sprintf "{%s}"
+       (String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s: %s" (quote k) (quote v)) extra)));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let sidecar_path path = path ^ ".meta.json"
+
+let write_sidecar ?extra ~path () =
+  try
+    let oc = open_out (sidecar_path path) in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (manifest ?extra ()))
+  with Sys_error _ -> ()

@@ -1,0 +1,95 @@
+(** Typed execution tracing: the engine's event stream.
+
+    Events carry {e simulated} timestamps (the engine clock, seconds),
+    so span durations reconcile exactly with [Engine.metrics]:
+    committed work is the sum of [Chunk_commit] spans, checkpoint time
+    the sum of [Checkpoint] spans, wasted time the [Waste] spans,
+    recovery time the [Recovery_abort] + [Recovery_complete] spans and
+    stall time the [Downtime] spans.
+
+    Tracing is opt-in: {!enabled} reflects [CKPT_TRACE_OUT] (or
+    {!set_enabled}), and an engine run only emits when handed a
+    {!buffer}.  Buffers are single-writer ring buffers — one per
+    execution — that overwrite their oldest events when full
+    (capacity [CKPT_TRACE_CAP], default 65536). *)
+
+type event =
+  | Decision of { at : float; chunk : float; remaining : float }
+      (** the policy chose the next chunk size. *)
+  | Chunk_start of { at : float; work : float }
+  | Chunk_commit of { t0 : float; t1 : float; work : float }
+      (** the chunk's execution span; its checkpoint follows. *)
+  | Checkpoint of { t0 : float; t1 : float }  (** committed checkpoint. *)
+  | Failure of { at : float; proc : int }  (** effective platform failure. *)
+  | Waste of { t0 : float; t1 : float }
+      (** execution/checkpoint time destroyed by a failure. *)
+  | Downtime of { t0 : float; t1 : float }  (** processors stalled on downtimes. *)
+  | Recovery_start of { at : float }
+  | Recovery_abort of { t0 : float; t1 : float }  (** recovery struck by a failure. *)
+  | Recovery_complete of { t0 : float; t1 : float }
+
+(** {1 Global switch} *)
+
+val enabled : unit -> bool
+(** True iff [CKPT_TRACE_OUT] was set at startup or {!set_enabled}
+    was called. *)
+
+val set_enabled : bool -> unit
+val out_path : unit -> string option
+val set_out_path : string option -> unit
+(** Setting a path also enables tracing. *)
+
+(** {1 Ring buffers} *)
+
+type buffer
+
+val create_buffer : ?capacity:int -> name:string -> unit -> buffer
+val emit : buffer -> event -> unit
+(** Single-writer: a buffer belongs to the one engine run filling it. *)
+
+val name : buffer -> string
+val length : buffer -> int
+val dropped : buffer -> int
+(** Events overwritten after the ring filled (0 means {!to_list} is
+    the complete stream). *)
+
+val to_list : buffer -> event list
+(** Chronological (oldest surviving event first). *)
+
+val clear : buffer -> unit
+
+(** {1 Reconciliation totals} *)
+
+type totals = {
+  work : float;
+  checkpoint : float;
+  waste : float;
+  recovery : float;
+  downtime : float;
+  failures : int;
+  chunks : int;
+  decisions : int;
+}
+
+val zero_totals : totals
+val totals : buffer -> totals
+(** Summed span durations and event counts; matches [Engine.metrics]
+    when {!dropped} is 0. *)
+
+(** {1 Export sink}
+
+    The evaluation harness registers each run's buffer here; the
+    accumulated buffers are written to [CKPT_TRACE_OUT] at process
+    exit by {!Trace_export}.  At most [CKPT_TRACE_BUFFERS] (default
+    512) buffers are kept; later registrations are counted and
+    dropped. *)
+
+val register : buffer -> unit
+val drain : unit -> buffer list * int
+(** All registered buffers in registration order, plus the number of
+    rejected registrations; empties the sink. *)
+
+(** {1 Rendering} *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp_timeline : ?limit:int -> Format.formatter -> buffer -> unit

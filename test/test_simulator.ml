@@ -13,6 +13,10 @@ module Trace_set = Ckpt_failures.Trace_set
 module Machine = Ckpt_platform.Machine
 module Overhead = Ckpt_platform.Overhead
 module Exponential = Ckpt_distributions.Exponential
+module Weibull = Ckpt_distributions.Weibull
+module Instrument = Ckpt_simulator.Instrument
+module Metrics = Ckpt_telemetry.Metrics
+module Tracer = Ckpt_telemetry.Tracer
 
 let check = Alcotest.check
 let close ?(tol = 1e-6) msg expected actual =
@@ -206,30 +210,49 @@ let test_lower_bound_beats_policies () =
 
 (* -- invariants (property) ------------------------------------------------------ *)
 
-let prop_metrics_partition =
-  QCheck2.Test.make ~name:"makespan = useful + C + wasted + recovery + stall" ~count:60
+(* Shared by the Exponential and Weibull instances below: the metrics
+   partition the makespan, and a traced run's span durations produce
+   the very same partition. *)
+let partition_prop ~name ~dist =
+  QCheck2.Test.make ~name ~count:60
     QCheck2.Gen.(pair (int_range 0 10_000) (float_range 200. 3000.))
     (fun (replicate, period) ->
       let scenario =
         Scenario.create ~horizon:1e7 ~start_time:0.
-          (Job.create
-             ~dist:(Exponential.of_mtbf ~mtbf:2500.)
-             ~processors:2
+          (Job.create ~dist ~processors:2
              ~machine:
                (Machine.create ~total_processors:2 ~downtime:40.
                   ~overhead:(Overhead.constant 120.))
              ~work_time:15_000.)
       in
       let traces = Scenario.traces scenario ~replicate in
-      match Engine.run ~scenario ~traces ~policy:(Policy.periodic "p" ~period) with
+      let buf = Tracer.create_buffer ~capacity:65_536 ~name:"prop" () in
+      match Engine.run_traced ~trace:buf ~scenario ~traces ~policy:(Policy.periodic "p" ~period) with
       | Engine.Completed m ->
           let parts =
             m.Engine.useful_work +. m.Engine.checkpoint_time +. m.Engine.wasted_time
             +. m.Engine.recovery_time +. m.Engine.stall_time
           in
+          let t = Tracer.totals buf in
+          let spans =
+            t.Tracer.work +. t.Tracer.checkpoint +. t.Tracer.waste +. t.Tracer.recovery
+            +. t.Tracer.downtime
+          in
           abs_float (m.Engine.makespan -. parts) < 1e-6 *. m.Engine.makespan
           && abs_float (m.Engine.useful_work -. 15_000.) < 1e-6
+          && Tracer.dropped buf = 0
+          && abs_float (m.Engine.makespan -. spans) < 1e-6 *. m.Engine.makespan
+          && t.Tracer.failures = m.Engine.failures
+          && t.Tracer.chunks = m.Engine.chunks
       | Engine.Policy_failed _ -> false)
+
+let prop_metrics_partition =
+  partition_prop ~name:"makespan = useful + C + wasted + recovery + stall (exponential)"
+    ~dist:(Exponential.of_mtbf ~mtbf:2500.)
+
+let prop_metrics_partition_weibull =
+  partition_prop ~name:"makespan partition and traced spans (weibull k=0.7)"
+    ~dist:(Weibull.of_mtbf ~mtbf:2500. ~shape:0.7)
 
 (* -- scenario --------------------------------------------------------------------- *)
 
@@ -587,7 +610,109 @@ let test_cost_profile_recovery_cost () =
       close "makespan" (300. +. 50. +. 500. +. 700. +. 500.) m.Engine.makespan
   | Engine.Policy_failed _ -> Alcotest.fail "cannot fail"
 
-let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_metrics_partition ]
+let test_cost_profile_recovery_at_committed_progress () =
+  (* The first chunk commits 600/1000 of the work at t = 700; the
+     failure at 900 must therefore pay the recovery priced at progress
+     0.6, not at the in-flight position. *)
+  let scenario = tiny_scenario () in
+  let traces = traces_of_failures ~units:1 [ (0, [ 900. ]) ] in
+  let profile ~progress = (100., if progress >= 0.5 then 300. else 100.) in
+  match Engine.run_with_cost_profile ~cost_profile:profile ~scenario ~traces ~policy:period600 with
+  | Engine.Completed m ->
+      close "recovery priced at committed progress" 300. m.Engine.recovery_time;
+      close "wasted" 200. m.Engine.wasted_time;
+      close "makespan" (900. +. 50. +. 300. +. 400. +. 100.) m.Engine.makespan
+  | Engine.Policy_failed _ -> Alcotest.fail "cannot fail"
+
+(* -- telemetry -------------------------------------------------------------- *)
+
+let contains_sub ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* The acceptance check for the tracing layer: a Weibull degradation
+   run's traced spans must reconcile with [Engine.metrics] replicate
+   by replicate, and the exported file must be Chrome trace_event
+   JSON. *)
+let test_traced_weibull_reconciles () =
+  let job =
+    Job.create
+      ~dist:(Weibull.of_mtbf ~mtbf:2000. ~shape:0.7)
+      ~processors:4
+      ~machine:
+        (Machine.create ~total_processors:4 ~downtime:40. ~overhead:(Overhead.constant 120.))
+      ~work_time:20_000.
+  in
+  let scenario = Scenario.create ~horizon:1e8 ~start_time:0. job in
+  let saw_failures = ref false in
+  for replicate = 0 to 4 do
+    let traces = Scenario.traces scenario ~replicate in
+    let buf =
+      Tracer.create_buffer ~capacity:65_536
+        ~name:(Printf.sprintf "rep%d/periodic-1000" replicate)
+        ()
+    in
+    match Engine.run_traced ~trace:buf ~scenario ~traces ~policy:(Policy.periodic "p" ~period:1000.) with
+    | Engine.Completed m ->
+        check Alcotest.int "no dropped events" 0 (Tracer.dropped buf);
+        let t = Tracer.totals buf in
+        close "work spans = useful_work" m.Engine.useful_work t.Tracer.work;
+        close "checkpoint spans = checkpoint_time" m.Engine.checkpoint_time t.Tracer.checkpoint;
+        close "waste spans = wasted_time" m.Engine.wasted_time t.Tracer.waste;
+        close "recovery spans = recovery_time" m.Engine.recovery_time t.Tracer.recovery;
+        close "downtime spans = stall_time" m.Engine.stall_time t.Tracer.downtime;
+        check Alcotest.int "failure count" m.Engine.failures t.Tracer.failures;
+        check Alcotest.int "chunk count" m.Engine.chunks t.Tracer.chunks;
+        if m.Engine.failures > 0 then saw_failures := true;
+        if replicate = 0 then begin
+          let path = Filename.temp_file "ckpt_weibull_trace" ".json" in
+          Fun.protect
+            ~finally:(fun () -> Sys.remove path)
+            (fun () ->
+              Ckpt_telemetry.Trace_export.write ~path [ buf ];
+              let ic = open_in_bin path in
+              let body =
+                Fun.protect
+                  ~finally:(fun () -> close_in_noerr ic)
+                  (fun () -> really_input_string ic (in_channel_length ic))
+              in
+              check Alcotest.bool "chrome trace envelope" true
+                (contains_sub ~needle:"\"traceEvents\"" body);
+              check Alcotest.bool "named execution thread" true
+                (contains_sub ~needle:"rep0/periodic-1000" body))
+        end
+    | Engine.Policy_failed _ -> Alcotest.fail "periodic cannot fail"
+  done;
+  check Alcotest.bool "at least one replicate saw failures" true !saw_failures
+
+let test_instrument_scoped_resets () =
+  Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ~prefix:"stage/" ())
+    (fun () ->
+      let calls () =
+        match Metrics.find "stage/scoping-test" with
+        | Some (Metrics.Timer { calls; _ }) -> calls
+        | _ -> 0
+      in
+      Instrument.scoped ~label:"first study" (fun () ->
+          check Alcotest.bool "in scope" true (Instrument.in_scope ());
+          Instrument.time "scoping-test" (fun () -> ());
+          Instrument.time "scoping-test" (fun () -> ());
+          (* A nested scope must not steal ownership of the timers. *)
+          Instrument.scoped ~label:"nested" (fun () ->
+              Instrument.time "scoping-test" (fun () -> ()));
+          check Alcotest.int "accumulates within one scope" 3 (calls ()));
+      check Alcotest.bool "out of scope" false (Instrument.in_scope ());
+      Instrument.scoped ~label:"second study" (fun () ->
+          Instrument.time "scoping-test" (fun () -> ());
+          check Alcotest.int "fresh timers per outermost scope" 1 (calls ())))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest [ prop_metrics_partition; prop_metrics_partition_weibull ]
 
 let () =
   Alcotest.run "simulator"
@@ -649,6 +774,14 @@ let () =
           Alcotest.test_case "constant profile = run" `Quick test_cost_profile_constant_matches_run;
           Alcotest.test_case "growing checkpoint cost" `Quick test_cost_profile_growing_cost;
           Alcotest.test_case "recovery cost at progress" `Quick test_cost_profile_recovery_cost;
+          Alcotest.test_case "recovery cost at committed progress" `Quick
+            test_cost_profile_recovery_at_committed_progress;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "weibull trace reconciles with metrics" `Quick
+            test_traced_weibull_reconciles;
+          Alcotest.test_case "instrument scoping" `Quick test_instrument_scoped_resets;
         ] );
       ( "significance",
         [

@@ -1,0 +1,333 @@
+(* Telemetry subsystem: metrics registry semantics, histogram merging,
+   trace ring buffers, export formats and provenance sidecars. *)
+
+module Metrics = Ckpt_telemetry.Metrics
+module Tracer = Ckpt_telemetry.Tracer
+module Trace_export = Ckpt_telemetry.Trace_export
+module Provenance = Ckpt_telemetry.Provenance
+
+let check = Alcotest.check
+let close ?(tol = 1e-9) msg expected actual =
+  Alcotest.check (Alcotest.float tol) msg expected actual
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let with_metrics f =
+  Metrics.set_enabled true;
+  Fun.protect f ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ())
+
+(* -- metrics registry ------------------------------------------------------- *)
+
+let test_metrics_kinds () =
+  with_metrics (fun () ->
+      let c = Metrics.counter "test/kinds_counter" in
+      Metrics.incr c;
+      Metrics.add c 4;
+      (match Metrics.find "test/kinds_counter" with
+      | Some (Metrics.Counter 5) -> ()
+      | v -> Alcotest.failf "counter: unexpected %a" (Fmt.option Metrics.pp_value) v);
+      let g = Metrics.gauge "test/kinds_gauge" in
+      Metrics.set g 2.5;
+      Metrics.set g 7.25;
+      (match Metrics.find "test/kinds_gauge" with
+      | Some (Metrics.Gauge 7.25) -> ()
+      | v -> Alcotest.failf "gauge: unexpected %a" (Fmt.option Metrics.pp_value) v);
+      let t = Metrics.timer "test/kinds_timer" in
+      Metrics.record t 0.5;
+      Metrics.record t 1.5;
+      (match Metrics.find "test/kinds_timer" with
+      | Some (Metrics.Timer { seconds; calls }) ->
+          close "timer seconds" 2.0 seconds;
+          check Alcotest.int "timer calls" 2 calls
+      | v -> Alcotest.failf "timer: unexpected %a" (Fmt.option Metrics.pp_value) v);
+      let h = Metrics.histogram "test/kinds_hist" in
+      Metrics.observe h 1.0;
+      Metrics.observe h 4.0;
+      match Metrics.find "test/kinds_hist" with
+      | Some (Metrics.Histogram s) ->
+          check Alcotest.int "hist count" 2 s.Metrics.count;
+          close "hist sum" 5.0 s.Metrics.sum;
+          close "hist min" 1.0 s.Metrics.min_v;
+          close "hist max" 4.0 s.Metrics.max_v
+      | v -> Alcotest.failf "histogram: unexpected %a" (Fmt.option Metrics.pp_value) v)
+
+let test_metrics_kind_mismatch () =
+  with_metrics (fun () ->
+      ignore (Metrics.counter "test/mismatch");
+      check Alcotest.bool "re-registering same kind is fine" true
+        (ignore (Metrics.counter "test/mismatch");
+         true);
+      match Metrics.gauge "test/mismatch" with
+      | _ -> Alcotest.fail "kind mismatch must raise"
+      | exception Invalid_argument _ -> ())
+
+let test_metrics_gating () =
+  Metrics.set_enabled false;
+  let c = Metrics.counter "test/gated_counter" in
+  let h = Metrics.histogram "test/gated_hist" in
+  let t = Metrics.timer "test/gated_timer" in
+  Metrics.reset ~prefix:"test/gated" ();
+  Metrics.incr c;
+  Metrics.observe h 3.0;
+  (* [record] is deliberately unconditional: the caller already paid
+     for the measurement. *)
+  Metrics.record t 1.0;
+  (match Metrics.find "test/gated_counter" with
+  | Some (Metrics.Counter 0) -> ()
+  | _ -> Alcotest.fail "disabled counter must not move");
+  (match Metrics.find "test/gated_hist" with
+  | Some (Metrics.Histogram s) -> check Alcotest.int "disabled hist empty" 0 s.Metrics.count
+  | _ -> Alcotest.fail "histogram registered");
+  match Metrics.find "test/gated_timer" with
+  | Some (Metrics.Timer { calls = 1; _ }) -> ()
+  | _ -> Alcotest.fail "record must accumulate even when disabled"
+
+let test_metrics_reset_prefix () =
+  with_metrics (fun () ->
+      let a = Metrics.counter "resetme/a" in
+      let b = Metrics.counter "keepme/b" in
+      Metrics.incr a;
+      Metrics.incr b;
+      Metrics.reset ~prefix:"resetme/" ();
+      (match Metrics.find "resetme/a" with
+      | Some (Metrics.Counter 0) -> ()
+      | _ -> Alcotest.fail "prefixed metric reset");
+      match Metrics.find "keepme/b" with
+      | Some (Metrics.Counter 1) -> ()
+      | _ -> Alcotest.fail "other metric untouched")
+
+let test_metrics_snapshot_sorted () =
+  with_metrics (fun () ->
+      Metrics.incr (Metrics.counter "zz/last");
+      Metrics.incr (Metrics.counter "aa/first");
+      let names = List.map fst (Metrics.snapshot ()) in
+      check Alcotest.bool "snapshot sorted by name" true
+        (List.sort compare names = names);
+      check Alcotest.bool "snapshot non-empty" true (names <> []))
+
+(* -- histogram algebra ------------------------------------------------------ *)
+
+let snapshot_of values =
+  with_metrics (fun () ->
+      let h = Metrics.histogram "test/tmp_hist_build" in
+      Metrics.reset ~prefix:"test/tmp_hist_build" ();
+      List.iter (Metrics.observe h) values;
+      match Metrics.find "test/tmp_hist_build" with
+      | Some (Metrics.Histogram s) -> s
+      | _ -> Alcotest.fail "histogram snapshot")
+
+let test_histogram_merge () =
+  let xs = [ 0.001; 0.01; 0.1; 1.0 ] and ys = [ 2.0; 4.0; 64.0 ] in
+  let merged = Metrics.merge_histograms (snapshot_of xs) (snapshot_of ys) in
+  let direct = snapshot_of (xs @ ys) in
+  check Alcotest.int "merged count" direct.Metrics.count merged.Metrics.count;
+  close "merged sum" direct.Metrics.sum merged.Metrics.sum;
+  close "merged min" direct.Metrics.min_v merged.Metrics.min_v;
+  close "merged max" direct.Metrics.max_v merged.Metrics.max_v;
+  check Alcotest.bool "merged buckets" true (merged.Metrics.buckets = direct.Metrics.buckets);
+  (* Commutativity and the identity element. *)
+  let swapped = Metrics.merge_histograms (snapshot_of ys) (snapshot_of xs) in
+  check Alcotest.bool "commutative" true (swapped = merged);
+  let with_empty = Metrics.merge_histograms direct Metrics.empty_histogram in
+  check Alcotest.bool "empty is identity" true (with_empty = direct)
+
+let test_histogram_moments () =
+  let s = snapshot_of [ 1.0; 2.0; 3.0; 10.0 ] in
+  close "mean" 4.0 (Metrics.histogram_mean s);
+  let q0 = Metrics.histogram_quantile s 0.0 and q1 = Metrics.histogram_quantile s 1.0 in
+  check Alcotest.bool "quantiles bracket the data" true (q0 <= q1);
+  check Alcotest.bool "median within range" true
+    (let m = Metrics.histogram_quantile s 0.5 in
+     m >= s.Metrics.min_v /. 2. && m <= s.Metrics.max_v *. 2.);
+  check Alcotest.bool "bucket_lower monotone" true
+    (Metrics.bucket_lower 10 < Metrics.bucket_lower 11)
+
+(* -- trace ring buffers ----------------------------------------------------- *)
+
+let span t0 t1 = Tracer.Chunk_commit { t0; t1; work = t1 -. t0 }
+
+let test_buffer_wraparound () =
+  let buf = Tracer.create_buffer ~capacity:4 ~name:"wrap" () in
+  for i = 0 to 9 do
+    Tracer.emit buf (span (float_of_int i) (float_of_int i +. 1.))
+  done;
+  check Alcotest.int "length capped" 4 (Tracer.length buf);
+  check Alcotest.int "dropped counts overwrites" 6 (Tracer.dropped buf);
+  let surviving = Tracer.to_list buf in
+  check Alcotest.int "to_list length" 4 (List.length surviving);
+  (* Oldest surviving first: events 6, 7, 8, 9. *)
+  List.iteri
+    (fun i ev ->
+      match ev with
+      | Tracer.Chunk_commit { t0; _ } -> close "chronological" (float_of_int (6 + i)) t0
+      | _ -> Alcotest.fail "unexpected event")
+    surviving;
+  Tracer.clear buf;
+  check Alcotest.int "clear empties" 0 (Tracer.length buf)
+
+let test_buffer_totals () =
+  let buf = Tracer.create_buffer ~capacity:64 ~name:"totals" () in
+  Tracer.emit buf (Tracer.Decision { at = 0.; chunk = 10.; remaining = 30. });
+  Tracer.emit buf (Tracer.Chunk_start { at = 0.; work = 10. });
+  Tracer.emit buf (Tracer.Chunk_commit { t0 = 0.; t1 = 10.; work = 10. });
+  Tracer.emit buf (Tracer.Checkpoint { t0 = 10.; t1 = 13. });
+  Tracer.emit buf (Tracer.Failure { at = 15.; proc = 0 });
+  Tracer.emit buf (Tracer.Waste { t0 = 13.; t1 = 15. });
+  Tracer.emit buf (Tracer.Downtime { t0 = 15.; t1 = 16. });
+  Tracer.emit buf (Tracer.Recovery_start { at = 16. });
+  Tracer.emit buf (Tracer.Recovery_abort { t0 = 16.; t1 = 17. });
+  Tracer.emit buf (Tracer.Recovery_complete { t0 = 18.; t1 = 20. });
+  let t = Tracer.totals buf in
+  close "work" 10. t.Tracer.work;
+  close "checkpoint" 3. t.Tracer.checkpoint;
+  close "waste" 2. t.Tracer.waste;
+  close "recovery (abort + complete)" 3. t.Tracer.recovery;
+  close "downtime" 1. t.Tracer.downtime;
+  check Alcotest.int "failures" 1 t.Tracer.failures;
+  check Alcotest.int "chunks" 1 t.Tracer.chunks;
+  check Alcotest.int "decisions" 1 t.Tracer.decisions
+
+let test_sink_register_drain () =
+  (* Leave the sink as we found it. *)
+  let stale, _ = Tracer.drain () in
+  List.iter Tracer.register stale;
+  let a = Tracer.create_buffer ~capacity:8 ~name:"sink-a" () in
+  let b = Tracer.create_buffer ~capacity:8 ~name:"sink-b" () in
+  Tracer.register a;
+  Tracer.register b;
+  let drained, rejected = Tracer.drain () in
+  let names = List.map Tracer.name drained in
+  check Alcotest.bool "registration order preserved" true
+    (List.filter (fun n -> n = "sink-a" || n = "sink-b") names = [ "sink-a"; "sink-b" ]);
+  check Alcotest.int "nothing rejected" 0 rejected;
+  let after, _ = Tracer.drain () in
+  check Alcotest.int "drain empties the sink" 0 (List.length after)
+
+(* -- export formats --------------------------------------------------------- *)
+
+let test_jsonl_line () =
+  let line =
+    Trace_export.jsonl_line ~buffer_name:"rep0/Daly"
+      (Tracer.Chunk_commit { t0 = 1.5; t1 = 2.5; work = 1.0 })
+  in
+  check Alcotest.bool "names the buffer" true (contains ~needle:"rep0/Daly" line);
+  check Alcotest.bool "names the event" true (contains ~needle:"chunk-commit" line);
+  check Alcotest.bool "single line" true (not (String.contains line '\n'))
+
+let test_chrome_export () =
+  let buf = Tracer.create_buffer ~capacity:16 ~name:"rep0/export-test" () in
+  Tracer.emit buf (Tracer.Chunk_commit { t0 = 0.; t1 = 5.; work = 5. });
+  Tracer.emit buf (Tracer.Failure { at = 5.; proc = 3 });
+  let path = Filename.temp_file "ckpt_trace" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace_export.write ~path [ buf ];
+      let body = read_file path in
+      check Alcotest.bool "trace_event envelope" true (contains ~needle:"\"traceEvents\"" body);
+      check Alcotest.bool "thread named after buffer" true
+        (contains ~needle:"rep0/export-test" body);
+      check Alcotest.bool "complete event" true (contains ~needle:"\"ph\":\"X\"" body);
+      check Alcotest.bool "instant event for the failure" true
+        (contains ~needle:"\"ph\":\"i\"" body))
+
+let test_jsonl_export () =
+  let buf = Tracer.create_buffer ~capacity:16 ~name:"rep1/lines" () in
+  Tracer.emit buf (Tracer.Checkpoint { t0 = 0.; t1 = 1. });
+  Tracer.emit buf (Tracer.Downtime { t0 = 1.; t1 = 2. });
+  let path = Filename.temp_file "ckpt_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace_export.write ~path [ buf ];
+      let body = read_file path in
+      let lines = String.split_on_char '\n' (String.trim body) in
+      check Alcotest.int "one line per event" 2 (List.length lines);
+      List.iter
+        (fun l ->
+          check Alcotest.bool "line is an object" true
+            (String.length l > 1 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+        lines)
+
+let test_json_escape () =
+  check Alcotest.string "quotes and backslashes" "a\\\"b\\\\c"
+    (Trace_export.json_escape "a\"b\\c");
+  check Alcotest.string "control characters" "tab\\there" (Trace_export.json_escape "tab\there")
+
+(* -- provenance ------------------------------------------------------------- *)
+
+let test_provenance_manifest () =
+  let m = Provenance.manifest ~extra:[ ("seed", "42"); ("policy", "DPNextFailure") ] () in
+  check Alcotest.bool "has parameters" true (contains ~needle:"\"parameters\"" m);
+  check Alcotest.bool "carries the seed" true (contains ~needle:"\"seed\": \"42\"" m);
+  check Alcotest.bool "records domains" true (contains ~needle:"\"domains\"" m);
+  check Alcotest.bool "records ocaml version" true (contains ~needle:Sys.ocaml_version m)
+
+let test_provenance_sidecar () =
+  let artifact = Filename.temp_file "ckpt_artifact" ".csv" in
+  let sidecar = Provenance.sidecar_path artifact in
+  check Alcotest.string "sidecar naming" (artifact ^ ".meta.json") sidecar;
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove artifact;
+      if Sys.file_exists sidecar then Sys.remove sidecar)
+    (fun () ->
+      Provenance.write_sidecar ~extra:[ ("experiment", "unit-test") ] ~path:artifact ();
+      check Alcotest.bool "sidecar written" true (Sys.file_exists sidecar);
+      let body = read_file sidecar in
+      check Alcotest.bool "sidecar carries parameters" true
+        (contains ~needle:"unit-test" body))
+
+let test_provenance_sidecar_never_raises () =
+  (* The artifact's directory does not exist: the sidecar silently
+     fails rather than breaking the caller. *)
+  Provenance.write_sidecar ~path:"/nonexistent-dir-ckpt/out.csv" ();
+  check Alcotest.bool "survived" true true
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "metrics registry",
+        [
+          Alcotest.test_case "counter/gauge/timer/histogram" `Quick test_metrics_kinds;
+          Alcotest.test_case "kind mismatch raises" `Quick test_metrics_kind_mismatch;
+          Alcotest.test_case "disabled gating" `Quick test_metrics_gating;
+          Alcotest.test_case "reset by prefix" `Quick test_metrics_reset_prefix;
+          Alcotest.test_case "snapshot sorted" `Quick test_metrics_snapshot_sorted;
+        ] );
+      ( "histograms",
+        [
+          Alcotest.test_case "merge = concatenated stream" `Quick test_histogram_merge;
+          Alcotest.test_case "moments and quantiles" `Quick test_histogram_moments;
+        ] );
+      ( "ring buffers",
+        [
+          Alcotest.test_case "wraparound + dropped" `Quick test_buffer_wraparound;
+          Alcotest.test_case "totals arithmetic" `Quick test_buffer_totals;
+          Alcotest.test_case "sink register/drain" `Quick test_sink_register_drain;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "jsonl line shape" `Quick test_jsonl_line;
+          Alcotest.test_case "chrome trace_event" `Quick test_chrome_export;
+          Alcotest.test_case "jsonl file" `Quick test_jsonl_export;
+          Alcotest.test_case "json escaping" `Quick test_json_escape;
+        ] );
+      ( "provenance",
+        [
+          Alcotest.test_case "manifest contents" `Quick test_provenance_manifest;
+          Alcotest.test_case "sidecar round-trip" `Quick test_provenance_sidecar;
+          Alcotest.test_case "sidecar never raises" `Quick test_provenance_sidecar_never_raises;
+        ] );
+    ]
