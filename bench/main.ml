@@ -25,6 +25,18 @@
       relative overhead, written to BENCH_telemetry.json.  Skip with
       CKPT_SKIP_TELEMETRY_BENCH=1.
 
+   5. A solver hot-path benchmark: end-to-end DPNextFailure engine
+      throughput (runs/s, decisions/run from the metrics registry,
+      microseconds per planning decision), one representative solve
+      pruned vs unpruned, Age_summary.build vs Incremental.summarize,
+      and a DPMakespan solve, written to BENCH_solver.json.  The run
+      throughput is compared against the previous BENCH_solver.json
+      (no-regression) or, on first run, against the committed
+      BENCH_telemetry.json tracing-off figure (the pre-optimization
+      engine, where the PR's >= 3x claim is enforced); failures only
+      abort under CKPT_BENCH_ASSERT=1.  Skip with
+      CKPT_SKIP_SOLVER_BENCH=1.
+
    Every BENCH_*.json gains a provenance sidecar (<file>.meta.json). *)
 
 open Bechamel
@@ -448,9 +460,163 @@ let run_telemetry_bench () =
        telemetry_bench_runs eval_bench_processors off_s on_s overhead_pct !events
        events_per_sec)
 
+(* -- stage 5: solver hot path ------------------------------------------------ *)
+
+let solver_bench_runs = 16
+
+let timed_mean n f =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to n do
+    f ()
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int n
+
+(* Read before stages 3-4 run: they overwrite the committed files the
+   comparison is against. *)
+let solver_baselines () =
+  let previous = previous_json_field ~path:"BENCH_solver.json" ~field:"dpnf_runs_per_sec" in
+  let telemetry_baseline =
+    match previous_json_field ~path:"BENCH_telemetry.json" ~field:"tracing_off_seconds" with
+    | Some s when s > 0. -> Some (float_of_int telemetry_bench_runs /. s)
+    | Some _ | None -> None
+  in
+  (previous, telemetry_baseline)
+
+let run_solver_bench ~baselines:(previous, telemetry_baseline) () =
+  Printf.printf "\n=== Solver hot path (DPNextFailure / DPMakespan, %d engine runs) ===\n%!"
+    solver_bench_runs;
+  let policy = Po.Dp_policies.dp_next_failure peta_weib_job in
+  let scenario = peta_weib_scenario and traces = peta_weib_traces in
+  (* Warm the trace cache and allocator outside the timed loop, and
+     count planning decisions per run via the metrics registry. *)
+  let was_enabled = T.Metrics.enabled () in
+  T.Metrics.set_enabled true;
+  T.Metrics.reset ~prefix:"dp_next_failure/" ();
+  ignore (S.Engine.run ~scenario ~traces ~policy);
+  let counter name =
+    match T.Metrics.find name with Some (T.Metrics.Counter n) -> n | _ -> 0
+  in
+  let decisions_per_run = counter "dp_next_failure/solves" in
+  let candidates_per_run = counter "dp_next_failure/candidates_scanned" in
+  T.Metrics.set_enabled was_enabled;
+  let run_s =
+    timed_mean solver_bench_runs (fun () -> ignore (S.Engine.run ~scenario ~traces ~policy))
+  in
+  let runs_per_sec = 1. /. run_s in
+  let us_per_decision = 1e6 *. run_s /. float_of_int (max 1 decisions_per_run) in
+  Printf.printf "engine run: %.2f runs/s, %d decisions/run, %.1f us/decision\n%!" runs_per_sec
+    decisions_per_run us_per_decision;
+  (* One representative planning instance, pruned vs unpruned. *)
+  let context = Po.Job.dp_context peta_weib_job ~platform_view:false in
+  let ages = Array.sub jaguar_ages 0 2048 in
+  let summary =
+    C.Age_summary.build context.C.Dp_context.dist ~processors:(Array.length ages)
+      ~iter_ages:(fun f -> Array.iter f ages)
+  in
+  let solve prune =
+    ignore
+      (C.Dp_next_failure.solve ~prune ~context ~ages:summary
+         ~work:peta_weib_job.Po.Job.work_time ())
+  in
+  let pruned_ms = 1e3 *. timed_mean 20 (fun () -> solve true) in
+  let unpruned_ms = 1e3 *. timed_mean 20 (fun () -> solve false) in
+  Printf.printf "solve: pruned %.3f ms, unpruned %.3f ms (%.2fx)\n%!" pruned_ms unpruned_ms
+    (unpruned_ms /. pruned_ms);
+  (* Age bookkeeping: O(p) rebuild vs the engine's incremental path. *)
+  let births =
+    Array.init eval_bench_processors (fun i -> float_of_int ((i * 7919) mod 97) *. 1e4)
+  in
+  let incremental = C.Age_summary.Incremental.create ~births in
+  let dist = context.C.Dp_context.dist in
+  let now = 2e6 in
+  let build_us =
+    1e6
+    *. timed_mean 50 (fun () ->
+           ignore
+             (C.Age_summary.build dist ~processors:eval_bench_processors
+                ~iter_ages:(fun f -> Array.iter (fun b -> f (now -. b)) births)))
+  in
+  let summarize_us =
+    1e6
+    *. timed_mean 50 (fun () -> ignore (C.Age_summary.Incremental.summarize incremental dist ~now))
+  in
+  Printf.printf "age summary (p=%d): build %.1f us, incremental summarize %.1f us (%.1fx)\n%!"
+    eval_bench_processors build_us summarize_us (build_us /. summarize_us);
+  let seq_context = Po.Job.dp_context sequential_job ~platform_view:false in
+  let dpm_ms =
+    1e3
+    *. timed_mean 10 (fun () ->
+           ignore
+             (C.Dp_makespan.solve ~cap_states:300 ~context:seq_context
+                ~work:sequential_job.Po.Job.work_time ~initial_age:0. ()))
+  in
+  Printf.printf "dpmakespan solve (flat memo): %.3f ms\n%!" dpm_ms;
+  let assert_enabled = Sys.getenv_opt "CKPT_BENCH_ASSERT" = Some "1" in
+  let baseline_source, baseline_runs_per_sec =
+    match (previous, telemetry_baseline) with
+    | Some prev, _ when prev > 0. -> ("BENCH_solver.json", prev)
+    | None, Some base when base > 0. -> ("BENCH_telemetry.json", base)
+    | _ -> ("none", 0.)
+  in
+  let vs_baseline = if baseline_runs_per_sec > 0. then runs_per_sec /. baseline_runs_per_sec else 0. in
+  (match baseline_source with
+  | "BENCH_solver.json" ->
+      Printf.printf "vs committed BENCH_solver.json: %.1f%% of previous throughput (%.2f runs/s)\n%!"
+        (100. *. vs_baseline) baseline_runs_per_sec;
+      if vs_baseline < 0.98 then
+        if assert_enabled then begin
+          Printf.eprintf "FAIL: DPNF run throughput dropped more than 2%% below the baseline\n%!";
+          exit 1
+        end
+        else
+          Printf.printf
+            "WARNING: more than 2%% below the baseline (set CKPT_BENCH_ASSERT=1 to enforce)\n%!"
+  | "BENCH_telemetry.json" ->
+      Printf.printf
+        "vs committed BENCH_telemetry.json (pre-optimization engine): %.2fx run throughput\n%!"
+        vs_baseline;
+      if vs_baseline < 3. then
+        if assert_enabled then begin
+          Printf.eprintf "FAIL: DPNF run throughput below the 3x optimization target\n%!";
+          exit 1
+        end
+        else Printf.printf "WARNING: below the 3x target (set CKPT_BENCH_ASSERT=1 to enforce)\n%!"
+  | _ -> Printf.printf "no committed baseline to compare against\n%!");
+  write_bench_json ~path:"BENCH_solver.json"
+    ~meta:[ ("bench", "solver-hot-path") ]
+    (Printf.sprintf
+       "{\n\
+       \  \"bench\": \"solver-hot-path\",\n\
+       \  \"engine_runs\": %d,\n\
+       \  \"processors\": 2048,\n\
+       \  \"policy\": \"DPNextFailure\",\n\
+       \  \"distribution\": \"weibull(k=0.7)\",\n\
+       \  \"dpnf_runs_per_sec\": %.3f,\n\
+       \  \"dpnf_decisions_per_run\": %d,\n\
+       \  \"dpnf_us_per_decision\": %.2f,\n\
+       \  \"dpnf_candidates_per_run\": %d,\n\
+       \  \"dpnf_solve_pruned_ms\": %.4f,\n\
+       \  \"dpnf_solve_unpruned_ms\": %.4f,\n\
+       \  \"dpnf_prune_speedup\": %.3f,\n\
+       \  \"age_summary_build_us\": %.2f,\n\
+       \  \"age_summary_incremental_us\": %.2f,\n\
+       \  \"age_summary_processors\": %d,\n\
+       \  \"dpm_solve_ms\": %.4f,\n\
+       \  \"baseline_source\": \"%s\",\n\
+       \  \"baseline_runs_per_sec\": %.3f,\n\
+       \  \"vs_baseline_speedup\": %.3f\n\
+        }\n"
+       solver_bench_runs runs_per_sec decisions_per_run us_per_decision candidates_per_run
+       pruned_ms unpruned_ms
+       (unpruned_ms /. pruned_ms)
+       build_us summarize_us eval_bench_processors dpm_ms baseline_source baseline_runs_per_sec
+       vs_baseline)
+
 let () =
   let skip name = Sys.getenv_opt name = Some "1" in
+  let baselines = solver_baselines () in
   if not (skip "CKPT_SKIP_EXPERIMENTS") then run_experiments ();
   if not (skip "CKPT_SKIP_MICRO") then run_micro ();
   if not (skip "CKPT_SKIP_EVAL_BENCH") then run_eval_bench ();
-  if not (skip "CKPT_SKIP_TELEMETRY_BENCH") then run_telemetry_bench ()
+  if not (skip "CKPT_SKIP_TELEMETRY_BENCH") then run_telemetry_bench ();
+  if not (skip "CKPT_SKIP_SOLVER_BENCH") then run_solver_bench ~baselines ()

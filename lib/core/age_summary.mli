@@ -23,6 +23,9 @@ type t = {
   counts : int array;  (** processors mapped to each reference *)
 }
 
+type summary = t
+(** Alias so {!Incremental} can name the summary type. *)
+
 val default_nexact : int
 (** 10, as in the paper. *)
 
@@ -53,7 +56,66 @@ val log_survival_shift : Ckpt_distributions.Distribution.t -> t -> float -> floa
     the next [e] seconds.  [Psuc(x | elapsed)] between two horizon
     points is [exp (shift elapsed - shift (elapsed + x))]. *)
 
+val shift_evaluator :
+  ?cumulative_hazard:(float -> float) ->
+  Ckpt_distributions.Distribution.t ->
+  t ->
+  float ->
+  float
+(** [shift_evaluator dist s] is {!log_survival_shift}[ dist s] with the
+    [H(tau_j)] halves of every term hoisted out at closure-creation
+    time — bit-identical results, half the hazard evaluations.  Use it
+    when probing many shifts of one summary (the DP's G table).
+    [cumulative_hazard] substitutes a tabulated hazard (see
+    {!Ckpt_distributions.Hazard_grid}) for the distribution's exact
+    one; results then differ by the grid's interpolation error. *)
+
 val psuc : Ckpt_distributions.Distribution.t -> t -> elapsed:float -> duration:float -> float
 (** Probability that no summarized processor fails during
     [duration], given all have already survived [elapsed] seconds past
     their recorded ages. *)
+
+val max_age : t -> float
+(** Largest age represented in the summary (0. floor); bounds the
+    hazard evaluations a shift over the summary can make. *)
+
+(** Persistent age state maintained across failures.
+
+    Between failures every alive processor ages uniformly, so the
+    sorted order of birth instants (instant each unit's current
+    lifetime began) is invariant: a failure replaces exactly one birth.
+    The engine keeps one of these per execution and updates it in
+    O(log p) per failure; [summarize] then compresses it in
+    O(nexact + napprox · log p) — no O(p) pass, no per-decision
+    allocation proportional to the platform.
+
+    [summarize] is bit-identical to {!build} over the same age multiset
+    (property-tested); both use the same reference construction and the
+    same order-independent tie rule at the exact threshold. *)
+module Incremental : sig
+  type t
+
+  val create : births:float array -> t
+  (** [create ~births] with one birth instant per failure unit (the
+      engine's [lifetime_start] vector; a unit that never failed has
+      birth 0).  Copies the array.
+      @raise Invalid_argument on an empty array. *)
+
+  val units : t -> int
+
+  val update : t -> old_birth:float -> new_birth:float -> unit
+  (** Replace one unit's birth instant after its failure ([new_birth] =
+      failure date + downtime).  O(log p) search plus a shift of the
+      ranks in between.
+      @raise Invalid_argument if [old_birth] is not a current birth. *)
+
+  val summarize :
+    ?nexact:int ->
+    ?napprox:int ->
+    t ->
+    Ckpt_distributions.Distribution.t ->
+    now:float ->
+    summary
+  (** The {!build}-equivalent summary of the platform at instant [now]
+      (unit age = [max 0 (now - birth)]). *)
+end

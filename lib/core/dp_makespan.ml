@@ -8,6 +8,79 @@ let solves = Metrics.counter "dp_makespan/solves"
 let quantum_gauge = Metrics.gauge "dp_makespan/quantum_seconds"
 let quantization_error = Metrics.gauge "dp_makespan/checkpoint_quantization_error"
 
+(* Flat open-addressing map over nonzero int keys: parallel unboxed
+   arrays replace the [(int, float * int) Hashtbl], whose every entry
+   boxed a tuple and two floats on the memoization hot path.  Slot 0 is
+   the empty marker — valid because packed state keys are >= 2^32 and
+   tlost keys >= 1024. *)
+type flat_map = {
+  mutable keys : int array;
+  mutable vals : float array;
+  mutable snds : int array;
+  mutable size : int;
+  mutable mask : int;
+}
+
+let fm_create cap =
+  let cap = max 16 cap in
+  let cap =
+    let c = ref 16 in
+    while !c < cap do
+      c := !c * 2
+    done;
+    !c
+  in
+  {
+    keys = Array.make cap 0;
+    vals = Array.make cap 0.;
+    snds = Array.make cap 0;
+    size = 0;
+    mask = cap - 1;
+  }
+
+let fm_start m key =
+  let h = key * 0x2545F4914F6CDD1D in
+  (h lxor (h lsr 32)) land m.mask
+
+(* Slot holding [key], or the empty slot where it belongs. *)
+let fm_probe m key =
+  let i = ref (fm_start m key) in
+  let k = ref m.keys.(!i) in
+  while !k <> key && !k <> 0 do
+    i := (!i + 1) land m.mask;
+    k := m.keys.(!i)
+  done;
+  !i
+
+(* Index of [key], or -1. *)
+let fm_find m key =
+  let i = fm_probe m key in
+  if m.keys.(i) = key then i else -1
+
+let fm_add m key v snd =
+  if (m.size + 1) * 4 > (m.mask + 1) * 3 then begin
+    let old_keys = m.keys and old_vals = m.vals and old_snds = m.snds in
+    let cap = (m.mask + 1) * 4 in
+    m.keys <- Array.make cap 0;
+    m.vals <- Array.make cap 0.;
+    m.snds <- Array.make cap 0;
+    m.mask <- cap - 1;
+    Array.iteri
+      (fun i k ->
+        if k <> 0 then begin
+          let j = fm_probe m k in
+          m.keys.(j) <- k;
+          m.vals.(j) <- old_vals.(i);
+          m.snds.(j) <- old_snds.(i)
+        end)
+      old_keys
+  end;
+  let i = fm_probe m key in
+  m.keys.(i) <- key;
+  m.vals.(i) <- v;
+  m.snds.(i) <- snd;
+  m.size <- m.size + 1
+
 type t = {
   context : Dp_context.t;
   initial_age : float;
@@ -21,14 +94,20 @@ type t = {
   post_recovery : float array;
   post_recovery_chunk : int array;
   (* Lazily memoized general states, keyed by the packed state. *)
-  memo : (int, float * int) Hashtbl.t;
-  tlost_cache : (int, float) Hashtbl.t;
+  memo : flat_map;
+  tlost_cache : flat_map;
 }
 
 type state = { x : int; fresh : bool; y : int }
 (* Age at a state: (if fresh then tau0 else R) + y * u. *)
 
-let pack s = ((((s.x * 2) + if s.fresh then 1 else 0) lsl 24) lor s.y : int)
+(* Layout: [2x + fresh] in the high bits, [y] in the low 31.  [solve]
+   bounds y (= quanta of work plus checkpoints elapsed since the last
+   failure) by x_max * (1 + c_u) and rejects instances that could
+   overflow the field; the guard here catches any other caller. *)
+let pack s =
+  if s.y lsr 31 <> 0 then invalid_arg "Dp_makespan.pack: y exceeds the 31-bit packed field";
+  ((((s.x * 2) + if s.fresh then 1 else 0) lsl 31) lor s.y : int)
 
 let age_of t s =
   (if s.fresh then t.initial_age else t.context.Dp_context.recovery) +. (float_of_int s.y *. t.u)
@@ -38,23 +117,32 @@ let age_of t s =
 let tlost t ~chunk_quanta ~age =
   let bucket = if age <= 1. then 0 else 1 + int_of_float (log age /. 0.05) in
   let key = (chunk_quanta * 1024) + bucket in
-  match Hashtbl.find_opt t.tlost_cache key with
-  | Some v ->
-      Metrics.incr tlost_hits;
-      v
-  | None ->
-      Metrics.incr tlost_misses;
-      let window = (float_of_int chunk_quanta *. t.u) +. t.context.Dp_context.checkpoint in
-      let v = Dp_context.expected_tlost t.context ~age ~window in
-      Hashtbl.add t.tlost_cache key v;
-      v
+  let i = fm_find t.tlost_cache key in
+  if i >= 0 then begin
+    Metrics.incr tlost_hits;
+    t.tlost_cache.vals.(i)
+  end
+  else begin
+    Metrics.incr tlost_misses;
+    let window = (float_of_int chunk_quanta *. t.u) +. t.context.Dp_context.checkpoint in
+    let v = Dp_context.expected_tlost t.context ~age ~window in
+    fm_add t.tlost_cache key v 0;
+    v
+  end
 
 (* Bellman step at a state, given an evaluator for successor states
    and the value of the failure branch E(T(x u | R)).  When
    [self_referential], the failure branch is the state itself and the
    fixed point is solved in closed form per candidate chunk.  The
    chunk search is capped at [chunk_cap] quanta (several Young periods:
-   psi is convex, so larger chunks are never optimal; see .mli). *)
+   psi is convex, so larger chunks are never optimal; see .mli).
+
+   Unlike DPNextFailure's inner maximization, the argmin here is NOT
+   monotone in remaining work — the optimal composition of x quanta
+   jumps at chunk-count transitions (one chunk of 3 at x = 3, first
+   chunk 2 of {2, 2} at x = 4 for memoryless failures) — so no
+   monotone pruning of this scan is sound; the solver's speedups come
+   from the flat memo and cached tlost instead. *)
 let bellman t ~x ~age ~successor ~failure_value ~self_referential =
   let c = t.context.Dp_context.checkpoint in
   let i_max = min x t.chunk_cap in
@@ -85,21 +173,31 @@ let bellman t ~x ~age ~successor ~failure_value ~self_referential =
   (!best_v, !best_i)
 
 let rec value t s =
-  if s.x = 0 then (0., 0)
-  else if (not s.fresh) && s.y = 0 then
-    (t.post_recovery.(s.x), t.post_recovery_chunk.(s.x))
+  if s.x = 0 then 0.
+  else if (not s.fresh) && s.y = 0 then t.post_recovery.(s.x)
   else begin
     let key = pack s in
-    match Hashtbl.find_opt t.memo key with
-    | Some v -> v
-    | None ->
-        Metrics.incr cells_solved;
-        let age = age_of t s in
-        let successor i = fst (value t { x = s.x - i; fresh = s.fresh; y = s.y + i + t.c_u }) in
-        let failure_value = t.post_recovery.(s.x) in
-        let v = bellman t ~x:s.x ~age ~successor ~failure_value ~self_referential:false in
-        Hashtbl.add t.memo key v;
-        v
+    let idx = fm_find t.memo key in
+    if idx >= 0 then t.memo.vals.(idx)
+    else begin
+      Metrics.incr cells_solved;
+      let age = age_of t s in
+      let successor i = value t { x = s.x - i; fresh = s.fresh; y = s.y + i + t.c_u } in
+      let failure_value = t.post_recovery.(s.x) in
+      let v, i = bellman t ~x:s.x ~age ~successor ~failure_value ~self_referential:false in
+      fm_add t.memo key v i;
+      v
+    end
+  end
+
+(* The chunk prescribed at a state ([value] first, so the memo entry
+   exists). *)
+let chunk_quanta t s =
+  if s.x = 0 then 0
+  else if (not s.fresh) && s.y = 0 then t.post_recovery_chunk.(s.x)
+  else begin
+    ignore (value t s);
+    t.memo.snds.(fm_find t.memo (pack s))
   end
 
 let young_period context =
@@ -120,8 +218,18 @@ let solve ?quantum ?(cap_states = 2000) ?(chunk_factor = 6.) ~context ~work ~ini
         Float.max (young /. 3.) (work /. float_of_int cap_states)
   in
   let x_max = max 1 (int_of_float (ceil (work /. u))) in
+  if x_max >= 1 lsl 30 then
+    invalid_arg "Dp_makespan.solve: work/quantum needs too many states for the packed layout";
   let u = work /. float_of_int x_max in
-  let c_u = int_of_float (Float.round (context.Dp_context.checkpoint /. u)) in
+  let c_quanta = Float.round (context.Dp_context.checkpoint /. u) in
+  (* y (quanta elapsed since the last failure) reaches at most
+     x_max * (1 + c_u): each of at most x_max chunks advances it by its
+     size plus one checkpoint.  Reject instances whose y could spill
+     out of pack's 31-bit field — with the old 24-bit layout they would
+     have corrupted x silently. *)
+  if float_of_int x_max *. (1. +. c_quanta) >= 2147483648. then
+    invalid_arg "Dp_makespan.solve: checkpoint/quantum ratio overflows the packed state layout";
+  let c_u = int_of_float c_quanta in
   let chunk_cap = max 4 (int_of_float (ceil (chunk_factor *. young /. u))) in
   Metrics.incr solves;
   Metrics.set quantum_gauge u;
@@ -140,8 +248,8 @@ let solve ?quantum ?(cap_states = 2000) ?(chunk_factor = 6.) ~context ~work ~ini
       e_rec = Dp_context.expected_trec context;
       post_recovery = Array.make (x_max + 1) 0.;
       post_recovery_chunk = Array.make (x_max + 1) 0;
-      memo = Hashtbl.create 4096;
-      tlost_cache = Hashtbl.create 256;
+      memo = fm_create 4096;
+      tlost_cache = fm_create 256;
     }
   in
   (* Post-recovery states, ascending in x.  Their successors
@@ -149,7 +257,7 @@ let solve ?quantum ?(cap_states = 2000) ?(chunk_factor = 6.) ~context ~work ~ini
      post-recovery values of strictly smaller x. *)
   for x = 1 to x_max do
     let age = context.Dp_context.recovery in
-    let successor i = fst (value t { x = x - i; fresh = false; y = i + t.c_u }) in
+    let successor i = value t { x = x - i; fresh = false; y = i + t.c_u } in
     let v, i = bellman t ~x ~age ~successor ~failure_value:nan ~self_referential:true in
     t.post_recovery.(x) <- v;
     t.post_recovery_chunk.(x) <- i
@@ -158,7 +266,7 @@ let solve ?quantum ?(cap_states = 2000) ?(chunk_factor = 6.) ~context ~work ~ini
 
 let quantum t = t.u
 
-let expected_makespan t = fst (value t { x = t.x_max; fresh = true; y = 0 })
+let expected_makespan t = value t { x = t.x_max; fresh = true; y = 0 }
 
 type cursor = { table : t; state : state }
 
@@ -168,15 +276,12 @@ let remaining_work c = float_of_int c.state.x *. c.table.u
 
 let next_chunk c =
   if c.state.x = 0 then 0.
-  else begin
-    let _, i = value c.table c.state in
-    float_of_int i *. c.table.u
-  end
+  else float_of_int (chunk_quanta c.table c.state) *. c.table.u
 
 let advance_success c =
   if c.state.x = 0 then c
   else begin
-    let _, i = value c.table c.state in
+    let i = chunk_quanta c.table c.state in
     { c with state = { c.state with x = c.state.x - i; y = c.state.y + i + c.table.c_u } }
   end
 

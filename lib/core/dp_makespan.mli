@@ -48,7 +48,19 @@ val solve :
     O((W/u)^3) search into a tractable one without affecting the
     optimum in practice (tests compare against the uncapped search on
     small instances).
-    @raise Invalid_argument if [work <= 0]. *)
+
+    Unlike DPNextFailure's chunk search, the argmin here is not
+    monotone in remaining work (the optimal composition jumps at
+    chunk-count transitions), so no monotone pruning is applied; the
+    solver's speed comes from a flat open-addressing memo over packed
+    states and the geometric tlost cache.
+
+    States are memoized under a packed integer key with 31 bits for
+    the elapsed-quanta coordinate; instances whose checkpoint-to-
+    quantum ratio could overflow it are rejected up front (the prior
+    24-bit layout corrupted such keys silently).
+    @raise Invalid_argument if [work <= 0] or the state space cannot
+    be packed. *)
 
 val quantum : t -> float
 val expected_makespan : t -> float

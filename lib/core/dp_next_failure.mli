@@ -33,6 +33,8 @@ type plan = {
 val solve :
   ?max_states:int ->
   ?truncation_factor:float ->
+  ?prune:bool ->
+  ?hazard_grid_points:int ->
   context:Dp_context.t ->
   ages:Age_summary.t ->
   work:float ->
@@ -44,6 +46,24 @@ val solve :
     [dist.mean / processors].  [max_states] bounds the DP dimension
     (the quantum adapts: [u = planned work / max_states]); default 150.
     [truncation_factor <= 0] disables truncation.
+
+    [prune] (default true) enables a branch-and-bound early exit in
+    the per-cell chunk scan: after each candidate, the entire
+    remaining tail is bounded by one survival-probability upper bound
+    times a prefix maximum of the next DP row in "value minus chunk"
+    form, and the scan stops once the bound cannot strictly beat the
+    incumbent.  (The tempting alternative — assuming the argmax is
+    monotone in remaining work and divide-and-conquering — is unsound:
+    with all ages tied at zero under Weibull k = 0.7 the argmax
+    oscillates.)  Every evaluated candidate uses the exact reference
+    expression and skipped candidates are provably non-improving in
+    float arithmetic, so pruned solves return bit-identical plans
+    (property-tested; [~prune:false] recovers the exhaustive scan).
+
+    [hazard_grid_points] > 0 tabulates the cumulative hazard on that
+    many sqrt-spaced nodes ({!Ckpt_distributions.Hazard_grid}) before
+    building the G table — faster for pow-heavy distributions
+    (Weibull), but no longer bit-identical; default 0 (exact).
     @raise Invalid_argument if [work <= 0]. *)
 
 val expected_work_of_chunks :

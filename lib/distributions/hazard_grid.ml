@@ -1,0 +1,39 @@
+type t = {
+  hi : float;
+  points : int;
+  scale : float;  (* points / sqrt hi: node index of x is scale * sqrt x *)
+  table : float array;  (* H at node ages, length points + 1 *)
+  exact : float -> float;
+}
+
+let make dist ~hi ~points =
+  if points < 2 then invalid_arg "Hazard_grid.make: points must be at least 2";
+  if not (hi > 0. && Float.is_finite hi) then
+    invalid_arg "Hazard_grid.make: hi must be positive and finite";
+  let h = dist.Distribution.cumulative_hazard in
+  let root = sqrt hi in
+  let scale = float_of_int points /. root in
+  (* sqrt-spaced nodes x_j = (j/points)^2 * hi: decreasing-hazard
+     Weibull has unbounded curvature of H at 0, where linear
+     interpolation on a uniform grid would be worst; in sqrt
+     coordinates H(x(s)) = (s/root)^(2k) * H(hi) is smooth at 0 for
+     the shapes of interest (k > 1/2). *)
+  let table =
+    Array.init (points + 1) (fun j ->
+        let s = float_of_int j /. float_of_int points *. root in
+        h (s *. s))
+  in
+  { hi; points; scale; table; exact = h }
+
+let points t = t.points
+let span t = t.hi
+
+let eval t x =
+  if x <= 0. || x >= t.hi then t.exact x
+  else begin
+    let s = t.scale *. sqrt x in
+    let j = int_of_float s in
+    let j = if j >= t.points then t.points - 1 else j in
+    let frac = s -. float_of_int j in
+    t.table.(j) +. (frac *. (t.table.(j + 1) -. t.table.(j)))
+  end

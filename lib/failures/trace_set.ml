@@ -7,19 +7,86 @@ type t = {
   merged : (float * int) array;  (* all (date, processor) sorted by date *)
 }
 
+(* Each per-processor trace is already sorted, so the global event
+   stream is a k-way merge, not an O(total log total) sort of the
+   concatenation.  A binary min-heap over the processors' next
+   unconsumed failures yields O(total log p) with small constants (two
+   flat arrays, no tuple allocation per comparison).  Events are
+   ordered by (date, proc) — [Float.compare] then [Int.compare] — so
+   equal-date failures across processors have a specified, stable
+   order ([prefix]'s order-preserving filter keeps it consistent for
+   any sub-platform). *)
 let build_merged traces =
+  let k = Array.length traces in
   let total = Array.fold_left (fun acc tr -> acc + Trace.count tr) 0 traces in
   let merged = Array.make total (0., 0) in
-  let k = ref 0 in
-  Array.iteri
-    (fun proc tr ->
-      Array.iter
-        (fun date ->
-          merged.(!k) <- (date, proc);
-          incr k)
-        tr.Trace.failure_times)
-    traces;
-  Array.sort (fun (a, _) (b, _) -> compare a b) merged;
+  if total > 0 then begin
+    let heap_date = Array.make k 0. in
+    let heap_proc = Array.make k 0 in
+    (* next.(proc): index of the processor's next unconsumed failure *)
+    let next = Array.make k 0 in
+    let size = ref 0 in
+    let less i j =
+      let cmp = Float.compare heap_date.(i) heap_date.(j) in
+      cmp < 0 || (cmp = 0 && Int.compare heap_proc.(i) heap_proc.(j) < 0)
+    in
+    let swap i j =
+      let d = heap_date.(i) and p = heap_proc.(i) in
+      heap_date.(i) <- heap_date.(j);
+      heap_proc.(i) <- heap_proc.(j);
+      heap_date.(j) <- d;
+      heap_proc.(j) <- p
+    in
+    let rec sift_up i =
+      if i > 0 then begin
+        let parent = (i - 1) / 2 in
+        if less i parent then begin
+          swap i parent;
+          sift_up parent
+        end
+      end
+    in
+    let rec sift_down i =
+      let l = (2 * i) + 1 and r = (2 * i) + 2 in
+      let m = ref i in
+      if l < !size && less l !m then m := l;
+      if r < !size && less r !m then m := r;
+      if !m <> i then begin
+        swap i !m;
+        sift_down !m
+      end
+    in
+    Array.iteri
+      (fun proc tr ->
+        if Trace.count tr > 0 then begin
+          heap_date.(!size) <- tr.Trace.failure_times.(0);
+          heap_proc.(!size) <- proc;
+          incr size;
+          sift_up (!size - 1);
+          next.(proc) <- 1
+        end)
+      traces;
+    let out = ref 0 in
+    while !size > 0 do
+      let proc = heap_proc.(0) in
+      merged.(!out) <- (heap_date.(0), proc);
+      incr out;
+      let tr = traces.(proc) in
+      if next.(proc) < Trace.count tr then begin
+        heap_date.(0) <- tr.Trace.failure_times.(next.(proc));
+        next.(proc) <- next.(proc) + 1;
+        sift_down 0
+      end
+      else begin
+        decr size;
+        if !size > 0 then begin
+          heap_date.(0) <- heap_date.(!size);
+          heap_proc.(0) <- heap_proc.(!size);
+          sift_down 0
+        end
+      end
+    done
+  end;
   merged
 
 let of_traces traces =

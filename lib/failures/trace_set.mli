@@ -44,9 +44,12 @@ val next_platform_failure : t -> after:float -> (float * int) option
 
 val events : t -> (float * int) array
 (** All failures of all processors merged into one array of
-    [(date, processor)] pairs sorted by date; built once at
-    construction so platform-level queries are a binary search.  The
-    returned array is shared: do not mutate it. *)
+    [(date, processor)] pairs sorted by [(date, processor)] — a
+    heap-based k-way merge of the per-processor traces, with the
+    processor index breaking date ties so the order is fully
+    specified.  Built once at construction so platform-level queries
+    are a binary search.  The returned array is shared: do not mutate
+    it. *)
 
 val next_event_index : t -> after:float -> int
 (** Index into {!events} of the first event with date [>= after]

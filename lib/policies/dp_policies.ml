@@ -7,6 +7,20 @@ let table_hits = Metrics.counter "dp_makespan/table_cache_hits"
 let table_misses = Metrics.counter "dp_makespan/table_cache_misses"
 let replans = Metrics.counter "dp_next_failure/replans"
 
+(* Escape hatches for the DPNextFailure fast paths, read once per
+   policy construction.  All default to the fast path; the slow paths
+   exist for A/B equivalence tests and field debugging. *)
+let incremental_summaries () =
+  match Sys.getenv_opt "CKPT_AGE_INCREMENTAL" with Some "0" -> false | _ -> true
+
+let dpnf_prune () = match Sys.getenv_opt "CKPT_DPNF_PRUNE" with Some "0" -> false | _ -> true
+
+let hazard_grid_points () =
+  match Sys.getenv_opt "CKPT_HAZARD_GRID" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with Some n when n >= 2 -> n | Some _ | None -> 0)
+  | None -> 0
+
 (* DPMakespan tables are shared across executions whose initial age
    falls in the same 50%-geometric bucket: at the month-plus ages where
    jobs start, the optimal plan varies far more slowly than that.
@@ -86,6 +100,9 @@ let dp_next_failure ?(nexact = Age_summary.default_nexact)
         Ckpt_core.Dp_context.create ~dist:base_context.Ckpt_core.Dp_context.dist ~checkpoint:c
           ~recovery:r ~downtime:base_context.Ckpt_core.Dp_context.downtime
   in
+  let use_incremental = incremental_summaries () in
+  let prune = dpnf_prune () in
+  let hazard_grid_points = hazard_grid_points () in
   let instantiate () =
     (* Remaining plan chunks, and how much of the plan may still be
        consumed before a replan (the first-half rule under
@@ -96,12 +113,15 @@ let dp_next_failure ?(nexact = Age_summary.default_nexact)
       Metrics.incr replans;
       let context = context_at ~remaining:obs.Policy.remaining in
       let ages =
-        Age_summary.build ~nexact ~napprox context.Ckpt_core.Dp_context.dist ~processors:units
-          ~iter_ages:obs.Policy.iter_ages
+        if use_incremental then
+          obs.Policy.summarize ~nexact ~napprox context.Ckpt_core.Dp_context.dist
+        else
+          Age_summary.build ~nexact ~napprox context.Ckpt_core.Dp_context.dist ~processors:units
+            ~iter_ages:obs.Policy.iter_ages
       in
       let plan =
-        Dp_next_failure.solve ~max_states ~truncation_factor ~context ~ages
-          ~work:obs.Policy.remaining ()
+        Dp_next_failure.solve ~max_states ~truncation_factor ~prune ~hazard_grid_points ~context
+          ~ages ~work:obs.Policy.remaining ()
       in
       pending := plan.Dp_next_failure.chunks;
       budget := plan.Dp_next_failure.valid_work

@@ -6,11 +6,16 @@ type observation = {
   failure_units : int;
   min_age : float;
   iter_ages : (float -> unit) -> unit;
+  summarize :
+    nexact:int -> napprox:int -> Ckpt_distributions.Distribution.t -> Ckpt_core.Age_summary.t;
 }
 
 type instance = observation -> float option
 
 type t = { name : string; instantiate : unit -> instance }
+
+let summarize_of_iter ~units ~iter_ages ~nexact ~napprox dist =
+  Ckpt_core.Age_summary.build ~nexact ~napprox dist ~processors:units ~iter_ages
 
 let stateless name f = { name; instantiate = (fun () -> f) }
 

@@ -27,6 +27,14 @@ type observation = {
   iter_ages : (float -> unit) -> unit;
       (** iterate over every failure unit's time-since-last-failure;
           O(units), so policies should call it sparingly. *)
+  summarize :
+    nexact:int -> napprox:int -> Ckpt_distributions.Distribution.t -> Ckpt_core.Age_summary.t;
+      (** the {!Ckpt_core.Age_summary} of the platform's current ages.
+          Callers that maintain incremental age state (the engine)
+          answer in O(nexact + napprox log units) without an O(units)
+          pass; {!summarize_of_iter} is the build-from-scratch fallback
+          for observation constructors without such state.  Both are
+          bit-identical. *)
 }
 
 type instance = observation -> float option
@@ -35,6 +43,16 @@ type instance = observation -> float option
     meaningful chunk (the paper's Liu heuristic on small intervals). *)
 
 type t = { name : string; instantiate : unit -> instance }
+
+val summarize_of_iter :
+  units:int ->
+  iter_ages:((float -> unit) -> unit) ->
+  nexact:int ->
+  napprox:int ->
+  Ckpt_distributions.Distribution.t ->
+  Ckpt_core.Age_summary.t
+(** [Age_summary.build] adapter for the {!observation.summarize} field
+    of callers without incremental age state. *)
 
 val stateless : string -> (observation -> float option) -> t
 (** A policy whose decisions are a pure function of the observation. *)

@@ -23,6 +23,7 @@ let failure_free ?initial_ages ?(max_entries = 100_000) policy job =
   let phase = ref Policy.Start in
   let entries = ref [] in
   let continue = ref true in
+  let iter_ages f = Array.iter f ages in
   while !continue && !remaining > 1e-6 && List.length !entries < max_entries do
     let obs =
       {
@@ -30,7 +31,8 @@ let failure_free ?initial_ages ?(max_entries = 100_000) policy job =
         remaining = !remaining;
         failure_units = units;
         min_age = Array.fold_left Float.min infinity ages;
-        iter_ages = (fun f -> Array.iter f ages);
+        iter_ages;
+        summarize = Policy.summarize_of_iter ~units ~iter_ages;
       }
     in
     match instance obs with

@@ -2,6 +2,7 @@ module Job = Ckpt_policies.Job
 module Policy = Ckpt_policies.Policy
 module Trace_set = Ckpt_failures.Trace_set
 module Tracer = Ckpt_telemetry.Tracer
+module Age_summary = Ckpt_core.Age_summary
 
 type metrics = {
   makespan : float;
@@ -28,6 +29,11 @@ type state = {
   events : (float * int) array;  (* merged (date, processor), sorted *)
   mutable event_index : int;
   lifetime_start : float array;  (* per processor *)
+  ages_inc : Age_summary.Incremental.t option;
+      (* sorted mirror of lifetime_start, kept in sync by
+         settle_downtime so policy observations can summarize platform
+         ages without an O(p) pass; None on paths that never consult a
+         policy (the lower bound). *)
   down_until : float array;
   mutable now : float;
   start_time : float;
@@ -47,7 +53,7 @@ type state = {
   mutable max_chunk : float;
 }
 
-let make_state ~trace ~scenario ~traces =
+let make_state ~trace ~track_ages ~scenario ~traces =
   let job = scenario.Scenario.job in
   let lifetime_start = Scenario.initial_lifetime_starts scenario traces in
   let start_time = scenario.Scenario.start_time in
@@ -58,6 +64,9 @@ let make_state ~trace ~scenario ~traces =
     events = Trace_set.events traces;
     event_index = Trace_set.next_event_index traces ~after:start_time;
     lifetime_start;
+    ages_inc =
+      (if track_ages then Some (Age_summary.Incremental.create ~births:lifetime_start)
+       else None);
     down_until = Array.make (Array.length lifetime_start) neg_infinity;
     now = start_time;
     start_time;
@@ -106,6 +115,11 @@ let rec settle_downtime st ~date ~proc =
   | None -> ());
   st.failures <- st.failures + 1;
   st.down_until.(proc) <- date +. d;
+  (match st.ages_inc with
+  | Some inc ->
+      Age_summary.Incremental.update inc ~old_birth:st.lifetime_start.(proc)
+        ~new_birth:(date +. d)
+  | None -> ());
   st.lifetime_start.(proc) <- date +. d;
   st.last_failure_ref <- Float.max st.last_failure_ref (date +. d);
   let ready = date +. d in
@@ -182,7 +196,7 @@ let record_chunk st chunk =
 let work_epsilon = 1e-6
 
 let run_internal ~trace ~cost_profile ~scenario ~traces ~policy =
-  let st = make_state ~trace ~scenario ~traces in
+  let st = make_state ~trace ~track_ages:true ~scenario ~traces in
   let constant_c = Job.checkpoint_cost st.job in
   let constant_r = Job.recovery_cost st.job in
   let work_time = st.job.Job.work_time in
@@ -196,6 +210,13 @@ let run_internal ~trace ~cost_profile ~scenario ~traces ~policy =
   let iter_ages f =
     Array.iter (fun ls -> f (Float.max 0. (st.now -. ls))) st.lifetime_start
   in
+  let summarize ~nexact ~napprox dist =
+    match st.ages_inc with
+    | Some inc -> Age_summary.Incremental.summarize ~nexact ~napprox inc dist ~now:st.now
+    | None ->
+        Policy.summarize_of_iter ~units:(Array.length st.lifetime_start) ~iter_ages ~nexact
+          ~napprox dist
+  in
   let outcome = ref None in
   while !outcome = None do
     if st.remaining <= work_epsilon then outcome := Some (Completed (metrics_of st))
@@ -207,6 +228,7 @@ let run_internal ~trace ~cost_profile ~scenario ~traces ~policy =
           failure_units = Array.length st.lifetime_start;
           min_age = Float.max 0. (st.now -. st.last_failure_ref);
           iter_ages;
+          summarize;
         }
       in
       match instance obs with
@@ -249,7 +271,7 @@ let run_internal ~trace ~cost_profile ~scenario ~traces ~policy =
   Option.get !outcome
 
 let lower_bound_internal ~trace ~scenario ~traces =
-  let st = make_state ~trace ~scenario ~traces in
+  let st = make_state ~trace ~track_ages:false ~scenario ~traces in
   let c = Job.checkpoint_cost st.job in
   let emit_committed ~t0 ~chunk =
     match st.trace with

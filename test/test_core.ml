@@ -180,6 +180,32 @@ let test_age_summary_approximation_accuracy () =
         (err < 2e-3))
     [ 0; 2; 4; 6 ]
 
+let test_age_summary_incremental () =
+  (* A fixed failure history, mirrored in a plain age vector: the
+     incremental structure must reproduce [build] exactly. *)
+  let births = [| 0.; 0.; 2e5; 5e5; 0.; 9e5 |] in
+  let inc = Age_summary.Incremental.create ~births in
+  check Alcotest.int "units" 6 (Age_summary.Incremental.units inc);
+  let mirror = Array.copy births in
+  let fail proc ~date ~downtime =
+    Age_summary.Incremental.update inc ~old_birth:mirror.(proc) ~new_birth:(date +. downtime);
+    mirror.(proc) <- date +. downtime
+  in
+  fail 2 ~date:1.1e6 ~downtime:60.;
+  fail 0 ~date:1.3e6 ~downtime:60.;
+  fail 2 ~date:1.35e6 ~downtime:60.;
+  let now = 1.5e6 in
+  let ages = Array.map (fun b -> Float.max 0. (now -. b)) mirror in
+  let expected =
+    Age_summary.build ~nexact:2 ~napprox:3 weibull_dist ~processors:6
+      ~iter_ages:(fun f -> Array.iter f ages)
+  in
+  let got = Age_summary.Incremental.summarize ~nexact:2 ~napprox:3 inc weibull_dist ~now in
+  check Alcotest.bool "summarize == build" true (got = expected);
+  Alcotest.check_raises "unknown birth"
+    (Invalid_argument "Age_summary.Incremental.update: unknown birth instant") (fun () ->
+      Age_summary.Incremental.update inc ~old_birth:123.456 ~new_birth:1e6)
+
 let test_age_summary_errors () =
   Alcotest.check_raises "count mismatch"
     (Invalid_argument "Age_summary.build: iter_ages count mismatch") (fun () ->
@@ -384,6 +410,38 @@ let test_dpm_invalid () =
   Alcotest.check_raises "zero work" (Invalid_argument "Dp_makespan.solve: work must be positive")
     (fun () -> ignore (Dp_makespan.solve ~context:exp_context ~work:0. ~initial_age:0. ()))
 
+let test_dpm_pack_boundary () =
+  (* A checkpoint worth 3e6 quanta drives the makespan coordinate of
+     the packed state beyond 2^24 — the zone the previous 24-bit field
+     corrupted silently.  The widened layout must still solve it: the
+     makespan is finite, at least the mandatory checkpoint costs, and
+     the cursor tiles the work. *)
+  let ctx =
+    Dp_context.create ~dist:(Exponential.of_mtbf ~mtbf:1e9) ~checkpoint:3e6 ~recovery:1.
+      ~downtime:0.
+  in
+  let t = Dp_makespan.solve ~quantum:1. ~context:ctx ~work:8. ~initial_age:0. () in
+  let m = Dp_makespan.expected_makespan t in
+  check Alcotest.bool "finite makespan" true (Float.is_finite m);
+  check Alcotest.bool "pays at least one checkpoint" true (m >= 3e6);
+  let rec walk c acc steps =
+    if steps > 100 then Alcotest.fail "cursor does not terminate";
+    let chunk = Dp_makespan.next_chunk c in
+    if chunk = 0. then acc else walk (Dp_makespan.advance_success c) (acc +. chunk) (steps + 1)
+  in
+  close ~tol:1e-9 "chunks tile the work" 8. (walk (Dp_makespan.start t) 0. 0)
+
+let test_dpm_pack_overflow_rejected () =
+  (* Instances whose makespan coordinate cannot fit the 31-bit field
+     must be rejected up front, never solved with corrupted keys. *)
+  let ctx =
+    Dp_context.create ~dist:(Exponential.of_mtbf ~mtbf:1e9) ~checkpoint:3e8 ~recovery:1.
+      ~downtime:0.
+  in
+  Alcotest.check_raises "ratio overflow"
+    (Invalid_argument "Dp_makespan.solve: checkpoint/quantum ratio overflows the packed state layout")
+    (fun () -> ignore (Dp_makespan.solve ~quantum:1. ~context:ctx ~work:16. ~initial_age:0. ()))
+
 (* -- properties ------------------------------------------------------------------ *)
 
 let prop_optimal_count_weakly_increasing_in_work =
@@ -427,6 +485,83 @@ let prop_age_summary_psuc_in_unit =
       let p = Age_summary.psuc weibull_dist s ~elapsed:0. ~duration in
       p >= 0. && p <= 1. +. 1e-12)
 
+let prop_dpnf_pruned_equals_unpruned =
+  (* The monotone divide-and-conquer prune only narrows which
+     candidates each cell scans; the plan and its value must be
+     bit-identical to the exhaustive scan, for memoryless and
+     decreasing-hazard distributions alike. *)
+  QCheck2.Test.make ~name:"pruned DPNF solve is bit-identical to unpruned" ~count:40
+    QCheck2.Gen.(triple (int_range 1 64) (float_range 0.1 4.) (float_range 0.4 1.2))
+    (fun (procs, work_factor, shape) ->
+      let rng = Ckpt_prng.Rng.create ~seed:(Int64.of_int ((procs * 7919) + int_of_float (shape *. 1e3))) in
+      let ages = Array.init procs (fun _ -> Ckpt_prng.Rng.uniform rng *. 3e6) in
+      let work = work_factor *. 1e6 /. float_of_int procs in
+      List.for_all
+        (fun dist ->
+          let ctx = Dp_context.create ~dist ~checkpoint:600. ~recovery:600. ~downtime:60. in
+          let summary =
+            Age_summary.build dist ~processors:procs ~iter_ages:(fun f -> Array.iter f ages)
+          in
+          let solve prune =
+            Dp_next_failure.solve ~max_states:60 ~prune ~context:ctx ~ages:summary ~work ()
+          in
+          let pruned = solve true and plain = solve false in
+          pruned.Dp_next_failure.chunks = plain.Dp_next_failure.chunks
+          && pruned.Dp_next_failure.expected_work = plain.Dp_next_failure.expected_work
+          && pruned.Dp_next_failure.valid_work = plain.Dp_next_failure.valid_work)
+        [ Exponential.of_mtbf ~mtbf:1e6; Weibull.of_mtbf ~mtbf:1e6 ~shape ])
+
+let prop_incremental_summary_matches_build =
+  (* After an arbitrary failure sequence the incremental structure's
+     summary equals a from-scratch [build] over the mirrored age
+     vector, structurally (same floats, same counts).  A quarter of
+     the births are tied at zero to exercise the tie rule at the
+     exact/approximate threshold. *)
+  QCheck2.Test.make ~name:"incremental summary == build after failures" ~count:80
+    QCheck2.Gen.(
+      pair
+        (triple (int_range 1 400) (int_range 0 30) (int_range 0 10_000))
+        (pair (int_range 0 12) (int_range 2 40)))
+    (fun ((units, failures, seed), (nexact, napprox)) ->
+      let rng = Ckpt_prng.Rng.create ~seed:(Int64.of_int seed) in
+      let births =
+        Array.init units (fun _ ->
+            if Ckpt_prng.Rng.uniform rng < 0.25 then 0. else Ckpt_prng.Rng.uniform rng *. 1e6)
+      in
+      let inc = Age_summary.Incremental.create ~births in
+      let mirror = Array.copy births in
+      let now = ref 1e6 in
+      for _ = 1 to failures do
+        let proc =
+          min (units - 1) (int_of_float (Ckpt_prng.Rng.uniform rng *. float_of_int units))
+        in
+        now := !now +. (Ckpt_prng.Rng.uniform rng *. 1e5);
+        let new_birth = !now +. 60. in
+        Age_summary.Incremental.update inc ~old_birth:mirror.(proc) ~new_birth;
+        mirror.(proc) <- new_birth
+      done;
+      now := !now +. 1e4;
+      let ages = Array.map (fun b -> Float.max 0. (!now -. b)) mirror in
+      let expected =
+        Age_summary.build ~nexact ~napprox weibull_dist ~processors:units
+          ~iter_ages:(fun f -> Array.iter f ages)
+      in
+      Age_summary.Incremental.summarize ~nexact ~napprox inc weibull_dist ~now:!now = expected)
+
+let prop_hazard_grid_accuracy =
+  (* The sqrt-spaced grid must track the exact cumulative hazard to
+     within its documented interpolation error over the span, and fall
+     back to the exact value outside it. *)
+  QCheck2.Test.make ~name:"hazard grid tracks the exact H" ~count:100
+    QCheck2.Gen.(pair (float_range 1. 9.9e5) (float_range 0.55 1.5))
+    (fun (x, shape) ->
+      let dist = Weibull.of_mtbf ~mtbf:1e6 ~shape in
+      let grid = Ckpt_distributions.Hazard_grid.make dist ~hi:1e6 ~points:4096 in
+      let exact = dist.D.cumulative_hazard x in
+      let approx = Ckpt_distributions.Hazard_grid.eval grid x in
+      abs_float (approx -. exact) <= 1e-4 *. (1. +. abs_float exact)
+      && Ckpt_distributions.Hazard_grid.eval grid (2e6 +. x) = dist.D.cumulative_hazard (2e6 +. x))
+
 let core_qcheck =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -434,6 +569,9 @@ let core_qcheck =
       prop_optimal_count_decreasing_in_checkpoint;
       prop_dpnf_expected_work_bounded;
       prop_age_summary_psuc_in_unit;
+      prop_dpnf_pruned_equals_unpruned;
+      prop_incremental_summary_matches_build;
+      prop_hazard_grid_accuracy;
     ]
 
 (* -- Waste (first-order analysis) --------------------------------------------- *)
@@ -510,6 +648,7 @@ let () =
           Alcotest.test_case "elapsed shift" `Quick test_age_summary_elapsed_shift;
           Alcotest.test_case "small platform lossless" `Quick test_age_summary_small_platform_lossless;
           Alcotest.test_case "Section 3.3 accuracy" `Quick test_age_summary_approximation_accuracy;
+          Alcotest.test_case "incremental matches build" `Quick test_age_summary_incremental;
           Alcotest.test_case "errors" `Quick test_age_summary_errors;
         ] );
       ( "dp_next_failure",
@@ -538,6 +677,8 @@ let () =
           Alcotest.test_case "lower bound" `Quick test_dpm_lower_bound;
           Alcotest.test_case "weibull age sensitivity" `Quick test_dpm_weibull_age_sensitivity;
           Alcotest.test_case "explicit quantum" `Quick test_dpm_explicit_quantum;
+          Alcotest.test_case "pack boundary (y > 2^24)" `Quick test_dpm_pack_boundary;
+          Alcotest.test_case "pack overflow rejected" `Quick test_dpm_pack_overflow_rejected;
           Alcotest.test_case "invalid args" `Quick test_dpm_invalid;
         ] );
       ("properties", core_qcheck);

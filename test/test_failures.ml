@@ -338,6 +338,47 @@ let test_availability () =
 
 (* -- properties ------------------------------------------------------------------------ *)
 
+let test_trace_set_merge_tie_break () =
+  (* Failures sharing a date are ordered by processor index. *)
+  let ts =
+    Trace_set.of_traces
+      [|
+        Trace.of_times ~horizon:100. [| 10.; 50. |];
+        Trace.of_times ~horizon:100. [| 10.; 20. |];
+        Trace.of_times ~horizon:100. [| 10. |];
+      |]
+  in
+  check Alcotest.bool "ties ordered by processor" true
+    (Trace_set.events ts = [| (10., 0); (10., 1); (10., 2); (20., 1); (50., 0) |])
+
+let prop_kway_merge_equals_sort =
+  (* The heap merge must produce exactly what sorting the concatenated
+     streams by (date, processor) produces — including empty traces
+     and any tie pattern the generator happens to hit. *)
+  QCheck2.Test.make ~name:"k-way merge == sort of the concatenation" ~count:100
+    QCheck2.Gen.(pair (int_range 1 12) (int_range 0 1000))
+    (fun (procs, seed) ->
+      let rng = Rng.create ~seed:(Int64.of_int seed) in
+      let traces =
+        Array.init procs (fun _ -> Trace.generate rng dist100 ~horizon:1000.)
+      in
+      let ts = Trace_set.of_traces traces in
+      let reference =
+        let all = ref [] in
+        Array.iteri
+          (fun proc tr ->
+            Array.iter (fun d -> all := (d, proc) :: !all) tr.Trace.failure_times)
+          traces;
+        let arr = Array.of_list !all in
+        Array.sort
+          (fun (d1, p1) (d2, p2) ->
+            let c = Float.compare d1 d2 in
+            if c <> 0 then c else Int.compare p1 p2)
+          arr;
+        arr
+      in
+      Trace_set.events ts = reference)
+
 let prop_trace_queries_consistent =
   QCheck2.Test.make ~name:"next/last failure bracket the query point" ~count:200
     QCheck2.Gen.(pair (int_range 0 1000) (float_range 0. 900.))
@@ -347,7 +388,9 @@ let prop_trace_queries_consistent =
       (match Trace.next_failure_at_or_after tr t with Some v -> v >= t | None -> true)
       && match Trace.last_failure_before tr t with Some v -> v < t | None -> true)
 
-let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_trace_queries_consistent ]
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_trace_queries_consistent; prop_kway_merge_equals_sort ]
 
 let () =
   Alcotest.run "failures"
@@ -365,6 +408,7 @@ let () =
           Alcotest.test_case "prefix coherence" `Quick test_trace_set_prefix_coherence;
           Alcotest.test_case "replicates differ" `Quick test_trace_set_replicates_differ;
           Alcotest.test_case "merged events" `Quick test_trace_set_merged_sorted_complete;
+          Alcotest.test_case "merge tie break" `Quick test_trace_set_merge_tie_break;
           Alcotest.test_case "event index" `Quick test_trace_set_next_event_index;
           Alcotest.test_case "prefix" `Quick test_trace_set_prefix;
         ] );

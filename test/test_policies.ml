@@ -34,12 +34,14 @@ let petascale_job ~shape =
 
 let observation ?(phase = Policy.Start) ?(remaining = 1e6) ?(units = 1) ?(min_age = 0.)
     ?(ages = [| 0. |]) () =
+  let iter_ages f = Array.iter f ages in
   {
     Policy.phase;
     remaining;
     failure_units = units;
     min_age;
-    iter_ages = (fun f -> Array.iter f ages);
+    iter_ages;
+    summarize = Policy.summarize_of_iter ~units ~iter_ages;
   }
 
 (* -- policy plumbing ------------------------------------------------------- *)

@@ -374,6 +374,40 @@ let test_evaluation_parallel_deterministic () =
   | Some a, Some b -> close ~tol:0. "average_makespan deterministic" a b
   | _ -> Alcotest.fail "periodic always completes"
 
+let with_env key value f =
+  let previous = Sys.getenv_opt key in
+  Unix.putenv key value;
+  Fun.protect f ~finally:(fun () ->
+      Unix.putenv key (match previous with Some v -> v | None -> ""))
+
+let test_engine_fast_paths_bit_identical () =
+  (* The DPNextFailure fast paths — incremental age summaries and the
+     monotone chunk-search prune — must not change a single bit of any
+     execution.  The escape-hatch knobs are read at policy
+     construction, so each arm builds its policy inside the env
+     scope. *)
+  let job =
+    Job.create
+      ~dist:(Weibull.of_mtbf ~mtbf:1e6 ~shape:0.7)
+      ~processors:64
+      ~machine:
+        (Machine.create ~total_processors:64 ~downtime:60. ~overhead:(Overhead.constant 600.))
+      ~work_time:5e5
+  in
+  let scenario = Scenario.create ~horizon:1e7 ~start_time:0. job in
+  let run () =
+    let policy = Ckpt_policies.Dp_policies.dp_next_failure ~max_states:60 job in
+    List.map
+      (fun replicate ->
+        Engine.run ~scenario ~traces:(Scenario.traces scenario ~replicate) ~policy)
+      [ 0; 1; 2 ]
+  in
+  let fast = run () in
+  let slow =
+    with_env "CKPT_AGE_INCREMENTAL" "0" (fun () -> with_env "CKPT_DPNF_PRUNE" "0" run)
+  in
+  check Alcotest.bool "fast paths change nothing" true (fast = slow)
+
 let contains_substring haystack needle =
   let h = String.length haystack and n = String.length needle in
   let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
@@ -731,6 +765,8 @@ let () =
           Alcotest.test_case "zero chunks terminate" `Quick test_engine_zero_chunk_policy_terminates;
           Alcotest.test_case "oversized chunk clamped" `Quick test_engine_oversized_chunk_clamped;
           Alcotest.test_case "deterministic" `Quick test_engine_deterministic;
+          Alcotest.test_case "DP fast paths bit-identical" `Quick
+            test_engine_fast_paths_bit_identical;
         ] );
       ( "lower bound",
         [
