@@ -37,6 +37,16 @@
       abort under CKPT_BENCH_ASSERT=1.  Skip with
       CKPT_SKIP_SOLVER_BENCH=1.
 
+   6. A scheduler benchmark: a nested study x replicate workload (a
+      skewed processor-count sweep whose points each evaluate a
+      replicate table) timed under the flat per-call pool vs the
+      persistent work-stealing scheduler over CKPT_DOMAINS in
+      {1,2,4,8}, written to BENCH_sched.json.  Every run's tables must
+      be bit-identical to the sequential reference; under
+      CKPT_BENCH_ASSERT=1 the nested workload must additionally beat
+      the flat pool by >= 1.5x at >= 4 domains (only meaningful on a
+      machine with >= 4 cores).  Skip with CKPT_SKIP_SCHED_BENCH=1.
+
    Every BENCH_*.json gains a provenance sidecar (<file>.meta.json). *)
 
 open Bechamel
@@ -612,6 +622,112 @@ let run_solver_bench ~baselines:(previous, telemetry_baseline) () =
        build_us summarize_us eval_bench_processors dpm_ms baseline_source baseline_runs_per_sec
        vs_baseline)
 
+(* -- stage 6: nested scheduler --------------------------------------------- *)
+
+let with_env key value f =
+  let previous = Sys.getenv_opt key in
+  Unix.putenv key value;
+  Fun.protect f ~finally:(fun () ->
+      Unix.putenv key (match previous with Some v -> v | None -> ""))
+
+(* A deliberately skewed study x replicate nest: fewer configurations
+   than domains (so the flat pool strands workers: nested replicate
+   fan-outs run inline on the claiming domain), with per-point cost
+   growing ~8x across the sweep (so the flat pool also idles at the
+   join barrier while the widest point finishes alone). *)
+let sched_processor_counts = [ 512; 512; 1024; 1024; 2048; 4096 ]
+let sched_replicates = 16
+let sched_domain_counts = [ 1; 2; 4; 8 ]
+
+let sched_workload () =
+  Ckpt_parallel.Domain_pool.parallel_map_list
+    (fun processors ->
+      let job = mini_job ~dist:weibull ~processors in
+      let scenario = S.Scenario.create job in
+      let policies = [ Po.Young.policy job; Po.Daly.high job; Po.Optexp.policy job ] in
+      S.Evaluation.degradation_table ~scenario ~policies ~replicates:sched_replicates)
+    sched_processor_counts
+
+let timed_sched_workload ~sched ~domains =
+  with_env "CKPT_SCHED" sched (fun () ->
+      with_domains domains (fun () ->
+          let t0 = Unix.gettimeofday () in
+          let tables = sched_workload () in
+          (tables, Unix.gettimeofday () -. t0)))
+
+let run_sched_bench () =
+  Printf.printf
+    "\n=== Scheduler (nested %d-config x %d-replicate study, flat pool vs work stealing) ===\n%!"
+    (List.length sched_processor_counts)
+    sched_replicates;
+  let reference, _ = timed_sched_workload ~sched:"seq" ~domains:1 in
+  let deterministic = ref true in
+  let curve =
+    List.map
+      (fun domains ->
+        let flat_tables, flat_s = timed_sched_workload ~sched:"flat" ~domains in
+        let steal_tables, steal_s = timed_sched_workload ~sched:"steal" ~domains in
+        if flat_tables <> reference || steal_tables <> reference then deterministic := false;
+        let speedup = flat_s /. steal_s in
+        Printf.printf
+          "domains=%d: flat %7.3f s   steal %7.3f s   steal/flat speedup %.2fx\n%!" domains
+          flat_s steal_s speedup;
+        (domains, flat_s, steal_s))
+      sched_domain_counts
+  in
+  Printf.printf "deterministic: %s\n%!"
+    (if !deterministic then "every mode and domain count matches the sequential tables"
+     else "MISMATCH against the sequential reference tables");
+  if not !deterministic then exit 1;
+  let best_nested_speedup =
+    List.fold_left
+      (fun acc (domains, flat_s, steal_s) ->
+        if domains >= 4 then Float.max acc (flat_s /. steal_s) else acc)
+      0. curve
+  in
+  Printf.printf "best steal-vs-flat speedup at >= 4 domains: %.2fx (target 1.5x)\n%!"
+    best_nested_speedup;
+  if best_nested_speedup < 1.5 then begin
+    if Sys.getenv_opt "CKPT_BENCH_ASSERT" = Some "1" then begin
+      Printf.eprintf
+        "FAIL: work-stealing scheduler below the 1.5x nested-workload target at >= 4 domains\n%!";
+      exit 1
+    end
+    else
+      Printf.printf
+        "WARNING: below the 1.5x nested target (needs >= 4 cores; CKPT_BENCH_ASSERT=1 enforces)\n%!"
+  end;
+  let curve_json =
+    String.concat ",\n"
+      (List.map
+         (fun (domains, flat_s, steal_s) ->
+           Printf.sprintf
+             "    { \"domains\": %d, \"flat_seconds\": %.6f, \"steal_seconds\": %.6f, \
+              \"speedup\": %.3f }"
+             domains flat_s steal_s (flat_s /. steal_s))
+         curve)
+  in
+  write_bench_json ~path:"BENCH_sched.json"
+    ~meta:[ ("bench", "nested-scheduler") ]
+    (Printf.sprintf
+       "{\n\
+       \  \"bench\": \"nested-scheduler\",\n\
+       \  \"configurations\": %d,\n\
+       \  \"replicates\": %d,\n\
+       \  \"policies\": 3,\n\
+       \  \"distribution\": \"weibull(k=0.7)\",\n\
+       \  \"processor_counts\": [%s],\n\
+       \  \"curve\": [\n\
+        %s\n\
+       \  ],\n\
+       \  \"best_nested_speedup_at_4plus\": %.3f,\n\
+       \  \"deterministic\": true\n\
+        }\n"
+       (List.length sched_processor_counts)
+       sched_replicates
+       (String.concat ", " (List.map string_of_int sched_processor_counts))
+       curve_json best_nested_speedup)
+
 let () =
   let skip name = Sys.getenv_opt name = Some "1" in
   let baselines = solver_baselines () in
@@ -619,4 +735,5 @@ let () =
   if not (skip "CKPT_SKIP_MICRO") then run_micro ();
   if not (skip "CKPT_SKIP_EVAL_BENCH") then run_eval_bench ();
   if not (skip "CKPT_SKIP_TELEMETRY_BENCH") then run_telemetry_bench ();
-  if not (skip "CKPT_SKIP_SOLVER_BENCH") then run_solver_bench ~baselines ()
+  if not (skip "CKPT_SKIP_SOLVER_BENCH") then run_solver_bench ~baselines ();
+  if not (skip "CKPT_SKIP_SCHED_BENCH") then run_sched_bench ()

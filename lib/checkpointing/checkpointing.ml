@@ -29,8 +29,9 @@ module Numerics = struct
   module Histogram = Ckpt_numerics.Histogram
 end
 
-(** Multicore fan-out. *)
+(** Multicore fan-out: persistent work-stealing scheduler. *)
 module Parallel = struct
+  module Deque = Ckpt_parallel.Deque
   module Domain_pool = Ckpt_parallel.Domain_pool
 end
 

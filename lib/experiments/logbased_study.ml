@@ -35,6 +35,10 @@ let run ?(config = Config.default ()) ?processor_counts ~cluster () =
   let preset = P.Presets.petascale () in
   let replicates = Config.scale config ~quick:8 ~full:600 in
   let points =
+    (* Two-to-four processor counts whose cost grows with the count:
+       the nested replicate fan-out composes under the work-stealing
+       scheduler, so the sweep does not serialize on its widest
+       point. *)
     Ckpt_parallel.Domain_pool.parallel_map_list
       (fun processors ->
         let scenario =

@@ -38,7 +38,11 @@ let run ?(config = Config.default ()) ?(workload_model = P.Workload.Embarrassing
   let dist = Setup.distribution dist_kind ~mtbf:preset.P.Presets.processor_mtbf in
   let replicates = Config.scale config ~quick:8 ~full:600 in
   (* Each point is an independent evaluation (own policies, traces,
-     engine state): fan out across domains. *)
+     engine state): fan out across domains.  Points differ wildly in
+     cost (more processors, slower replicates), but under the
+     work-stealing scheduler each point's replicate fan-out composes
+     with this one, so domains finishing a cheap point steal replicate
+     work from the expensive ones instead of idling at the join. *)
   let points =
     Ckpt_parallel.Domain_pool.parallel_map_list
       (fun processors ->

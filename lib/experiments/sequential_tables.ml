@@ -10,6 +10,9 @@ let default_mtbfs =
   [ ("1 hour", P.Units.hour); ("1 day", P.Units.day); ("1 week", P.Units.week) ]
 
 let run ?(config = Config.default ()) ~dist_kind ?(mtbfs = default_mtbfs) () =
+  (* Only three MTBF points: on a wide machine the parallelism comes
+     from each point's replicate fan-out, which the work-stealing
+     scheduler lets the remaining domains join instead of idling. *)
   Ckpt_parallel.Domain_pool.parallel_map_list
     (fun (mtbf_label, mtbf) ->
       let dist = Setup.distribution dist_kind ~mtbf in

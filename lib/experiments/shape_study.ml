@@ -22,6 +22,10 @@ let run ?(config = Config.default ()) ?shapes ?processors () =
   in
   let replicates = Config.scale config ~quick:8 ~full:600 in
   let points =
+    (* Low shapes are far slower to simulate than high ones (more
+       failures per trace): composing with the nested replicate
+       fan-out lets domains that finish the easy shapes steal
+       replicates from the hard ones. *)
     Ckpt_parallel.Domain_pool.parallel_map_list
       (fun shape ->
         let dist = Setup.distribution (Setup.Weibull shape) ~mtbf:preset.P.Presets.processor_mtbf in

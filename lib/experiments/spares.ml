@@ -27,6 +27,8 @@ let run ?(config = Config.default ()) ?processors () =
   let policy = Po.Dp_policies.dp_next_failure scenario.S.Scenario.job in
   let replicates = Config.scale config ~quick:10 ~full:600 in
   let counts =
+    (* Flat replicate sweep; claims rebalance at item granularity, so
+       a straggler replicate never strands the other domains. *)
     Ckpt_parallel.Domain_pool.parallel_init replicates (fun replicate ->
         let traces = S.Scenario.traces scenario ~replicate in
         match S.Engine.run ~scenario ~traces ~policy with

@@ -1,0 +1,156 @@
+(* Chase–Lev work-stealing deque.
+
+   Indices [top, bottom) of a growable circular buffer hold the live
+   elements.  The owner pushes/pops at [bottom]; thieves advance [top]
+   with a CAS.  Both indices only ever increase, which rules out ABA
+   on the CAS.  All index accesses go through [Atomic] (OCaml's
+   atomics are sequentially consistent), and buffer cells are written
+   before the atomic publication of [bottom], so a thief that observes
+   an index also observes the cell it guards.
+
+   Correctness of the delicate cases:
+
+   - [pop] decrements [bottom] *before* reading [top].  A thief reads
+     [top] before [bottom]; since [top] is monotonic, a thief that
+     could race for the owner's element must have read [top] after the
+     owner's decrement, hence reads the decremented [bottom] and backs
+     off.  The one genuinely racy element (the last one) is resolved
+     by both sides CASing [top].
+
+   - [steal] validates its read of the cell with the CAS on [top]: if
+     the cell was recycled by a grown or wrapped buffer, [top] has
+     necessarily advanced and the CAS fails, discarding the stale
+     value.
+
+   - Growing copies [top, bottom) into a fresh buffer and publishes it
+     with an atomic store; the old buffer is never mutated again, so
+     in-flight thieves holding it still read valid cells for any index
+     their CAS can validate. *)
+
+module Buffer = struct
+  type 'a t = { cells : 'a option array; mask : int }
+
+  let create size = { cells = Array.make size None; mask = size - 1 }
+  let size b = b.mask + 1
+  let get b i = Array.unsafe_get b.cells (i land b.mask)
+  let set b i v = Array.unsafe_set b.cells (i land b.mask) v
+
+  let grow b ~top ~bottom =
+    let b' = create (2 * size b) in
+    for i = top to bottom - 1 do
+      set b' i (get b i)
+    done;
+    b'
+end
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  buffer : 'a Buffer.t Atomic.t;
+}
+
+let initial_size = 16
+
+let create () =
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buffer = Atomic.make (Buffer.create initial_size);
+  }
+
+let size q = max 0 (Atomic.get q.bottom - Atomic.get q.top)
+
+let push q v =
+  let b = Atomic.get q.bottom in
+  let t = Atomic.get q.top in
+  let buf = Atomic.get q.buffer in
+  let buf =
+    if b - t >= Buffer.size buf then begin
+      let grown = Buffer.grow buf ~top:t ~bottom:b in
+      Atomic.set q.buffer grown;
+      grown
+    end
+    else buf
+  in
+  Buffer.set buf b (Some v);
+  Atomic.set q.bottom (b + 1)
+
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  if b < t then begin
+    (* Already empty; restore the canonical empty state. *)
+    Atomic.set q.bottom t;
+    None
+  end
+  else if b = t then begin
+    (* Last element: race thieves for it via [top]. *)
+    let buf = Atomic.get q.buffer in
+    let v = Buffer.get buf b in
+    let won = Atomic.compare_and_set q.top t (t + 1) in
+    Atomic.set q.bottom (t + 1);
+    if won then begin
+      Buffer.set buf b None;
+      v
+    end
+    else None
+  end
+  else begin
+    let buf = Atomic.get q.buffer in
+    let v = Buffer.get buf b in
+    Buffer.set buf b None;
+    v
+  end
+
+let rec steal q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if t >= b then None
+  else begin
+    let buf = Atomic.get q.buffer in
+    let v = Buffer.get buf t in
+    if Atomic.compare_and_set q.top t (t + 1) then v else steal q
+  end
+
+(* Michael–Scott two-lock-free FIFO queue: a singly linked list with a
+   dummy head; [push] CASes onto the tail, [pop] CASes the head
+   forward.  The [value] field of a dequeued node is cleared so the
+   new dummy does not pin the element. *)
+module Injector = struct
+  type 'a node = { mutable value : 'a option; next : 'a node option Atomic.t }
+  type 'a t = { head : 'a node Atomic.t; tail : 'a node Atomic.t }
+
+  let create () =
+    let dummy = { value = None; next = Atomic.make None } in
+    { head = Atomic.make dummy; tail = Atomic.make dummy }
+
+  let push q v =
+    let node = { value = Some v; next = Atomic.make None } in
+    let rec loop () =
+      let tail = Atomic.get q.tail in
+      match Atomic.get tail.next with
+      | None ->
+          if Atomic.compare_and_set tail.next None (Some node) then
+            (* Swing the tail; losing this CAS is fine (someone helped). *)
+            ignore (Atomic.compare_and_set q.tail tail node)
+          else loop ()
+      | Some next ->
+          (* Help a stalled pusher move the tail, then retry. *)
+          ignore (Atomic.compare_and_set q.tail tail next);
+          loop ()
+    in
+    loop ()
+
+  let rec pop q =
+    let head = Atomic.get q.head in
+    match Atomic.get head.next with
+    | None -> None
+    | Some next ->
+        if Atomic.compare_and_set q.head head next then begin
+          let v = next.value in
+          next.value <- None;
+          v
+        end
+        else pop q
+end

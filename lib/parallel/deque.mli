@@ -1,0 +1,44 @@
+(** Lock-free queues underneath the work-stealing scheduler.
+
+    The main type is a Chase–Lev work-stealing deque (Chase & Lev,
+    "Dynamic Circular Work-Stealing Deque", SPAA 2005): the owner
+    pushes and pops at the bottom in LIFO order with no interlocked
+    operation on the fast path, while any other domain steals from the
+    top in FIFO order with a single compare-and-set.  FIFO stealing
+    means thieves take the *oldest* region a worker forked, which is
+    the one with the most unclaimed work left.
+
+    {!Injector} is the companion unbounded lock-free FIFO
+    (Michael–Scott queue) used to submit work from domains that do not
+    own a deque (the main domain, or any externally spawned domain).
+
+    Both structures only move pointers: the scheduler keeps values
+    coarse (one region descriptor per fork), so contention on these
+    queues is never the bottleneck. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Owner only.  Grows the backing circular buffer as needed. *)
+
+val pop : 'a t -> 'a option
+(** Owner only.  LIFO: returns the most recently pushed element. *)
+
+val steal : 'a t -> 'a option
+(** Any domain.  FIFO: takes the oldest element, or [None] when the
+    deque is (or races to) empty.  Lock-free: a failed internal
+    compare-and-set means another thief succeeded, and the operation
+    retries on a fresh view. *)
+
+val size : 'a t -> int
+(** Approximate occupancy (racy snapshot); for telemetry and tests. *)
+
+module Injector : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val push : 'a t -> 'a -> unit
+  val pop : 'a t -> 'a option
+end

@@ -4,69 +4,429 @@ let tasks_run = Metrics.counter "domain_pool/tasks"
 let inline_sweeps = Metrics.counter "domain_pool/inline_sweeps"
 let domains_spawned = Metrics.counter "domain_pool/domains_spawned"
 let early_aborts = Metrics.counter "domain_pool/early_aborts"
+let steals = Metrics.counter "sched/steals"
+let injections = Metrics.counter "sched/injections"
+let regions_run = Metrics.counter "sched/regions"
+let external_tasks = Metrics.counter "sched/external/tasks"
+let park_timer = Metrics.timer "sched/idle_park"
+
+(* Warn once per distinct malformed value: [recommended_domains] runs
+   on every fan-out, and a bad CKPT_DOMAINS should not flood stderr. *)
+let warn_once cell ~knob ~value ~fallback =
+  if Atomic.get cell <> value then begin
+    Atomic.set cell value;
+    Printf.eprintf "ckpt: ignoring malformed %s=%S (%s)\n%!" knob value fallback
+  end
+
+let warned_domains = Atomic.make ""
 
 let recommended_domains () =
   match Sys.getenv_opt "CKPT_DOMAINS" with
+  | None -> Domain.recommended_domain_count ()
+  | Some s when String.trim s = "" -> Domain.recommended_domain_count ()
   | Some s -> begin
       match int_of_string_opt (String.trim s) with
       | Some n when n >= 1 -> n
-      | Some _ | None -> Domain.recommended_domain_count ()
+      | Some _ | None ->
+          let fallback = Domain.recommended_domain_count () in
+          warn_once warned_domains ~knob:"CKPT_DOMAINS" ~value:s
+            ~fallback:
+              (Printf.sprintf "want an integer >= 1; using the hardware default %d" fallback);
+          fallback
     end
-  | None -> Domain.recommended_domain_count ()
 
-(* True while the current domain is executing pool work.  Nested
-   [parallel_init] calls (the evaluation harness fans replicates out
-   while the studies fan configurations out) run inline instead of
-   spawning domains on top of an already-saturated machine. *)
+type sched = Seq | Flat | Steal
+
+let warned_sched = Atomic.make ""
+
+let scheduler () =
+  match Sys.getenv_opt "CKPT_SCHED" with
+  | None -> Steal
+  | Some s when String.trim s = "" -> Steal
+  | Some s -> begin
+      match String.lowercase_ascii (String.trim s) with
+      | "steal" -> Steal
+      | "flat" -> Flat
+      | "seq" -> Seq
+      | _ ->
+          warn_once warned_sched ~knob:"CKPT_SCHED" ~value:s
+            ~fallback:"want seq, flat or steal; using steal";
+          Steal
+    end
+
+(* True while the current domain is executing pool work.  The
+   evaluation harness reads it to tell a top-level table (which owns
+   the process-global timers and progress meter) from one nested
+   inside a study's own fan-out; the flat scheduler additionally uses
+   it to run nested regions inline. *)
 let in_region_key = Domain.DLS.new_key (fun () -> false)
 
 let in_parallel_region () = Domain.DLS.get in_region_key
 
+(* -- flat scheduler (the pre-scheduler pool, kept for A/B pinning) --------- *)
+
+(* Spawns [domains - 1] fresh domains per call, claims work items from
+   a shared counter, and runs nested calls inline on the claiming
+   domain.  Study-level and replicate-level parallelism do not
+   compose: a narrow outer sweep caps the whole machine. *)
+let flat_parallel_init ~domains n f =
+  let results = Array.make n None in
+  let first_error = Atomic.make None in
+  let next = Atomic.make 0 in
+  let worker () =
+    Domain.DLS.set in_region_key true;
+    let continue = ref true in
+    while !continue do
+      (* Once a task has failed the sweep's outcome is decided: stop
+         claiming so the failure surfaces promptly instead of burning
+         the rest of the grid. *)
+      if Atomic.get first_error <> None then begin
+        Metrics.incr early_aborts;
+        continue := false
+      end
+      else begin
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else begin
+          Metrics.incr tasks_run;
+          match f i with
+          | v -> results.(i) <- Some v
+          | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              ignore (Atomic.compare_and_set first_error None (Some (e, bt)))
+        end
+      end
+    done
+  in
+  let spawned = List.init (min domains n - 1) (fun _ -> Domain.spawn worker) in
+  Metrics.add domains_spawned (List.length spawned);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set in_region_key false) worker;
+  List.iter Domain.join spawned;
+  (match Atomic.get first_error with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ());
+  Array.map Option.get results
+
+(* -- work-stealing scheduler ----------------------------------------------- *)
+
+(* Domains are spawned once, kept parked on a condition variable when
+   idle, and reused by every region for the life of the process (which
+   also keeps their DLS solver caches warm across sweeps).
+
+   A *region* is one [parallel_init] call: work items are claimed from
+   the region's atomic counter (so each output slot is written by
+   exactly one task, and stealing rebalances at item granularity), and
+   the region descriptor itself is what circulates through the deques.
+   Forking a region pushes up to [domains - 1] helper tickets — each
+   ticket is an invitation to claim items — onto the forker's own
+   Chase–Lev deque (or the shared lock-free injector when the forker
+   is not a pool worker).  Idle workers pop their own deque, then the
+   injector, then steal the oldest ticket from a sibling; a nested
+   region forked inside a task is therefore picked up by whichever
+   domains the outer sweep leaves idle, so study-level and
+   replicate-level parallelism compose and a skewed outer sweep's tail
+   is stolen instead of serialized. *)
+module Steal_sched = struct
+  type region = {
+    n : int;
+    next : int Atomic.t;  (* next unclaimed item *)
+    completed : int Atomic.t;  (* claimed items that have finished (ran or skipped) *)
+    error : (exn * Printexc.raw_backtrace) option Atomic.t;
+    run_item : int -> unit;
+  }
+
+  let finished r = Atomic.get r.completed >= r.n
+
+  type worker = {
+    deque : region Deque.t;
+    tasks : Metrics.counter;
+    mutable cursor : int;  (* round-robin steal victim, owner-private *)
+  }
+
+  type pool = {
+    workers : worker array Atomic.t;  (* grows; never shrinks *)
+    injector : region Deque.Injector.t;
+    lock : Mutex.t;
+    cond : Condition.t;
+    sleepers : int Atomic.t;
+    epoch : int Atomic.t;  (* bumped whenever new work appears or a region completes *)
+    stop : bool Atomic.t;
+    mutable spawned : unit Domain.t list;  (* under [lock] *)
+  }
+
+  (* The pool worker executing the current domain, if any. *)
+  let worker_key = Domain.DLS.new_key (fun () -> None)
+
+  (* Wake parked domains.  The epoch is bumped first so a domain that
+     scanned for work before the bump and is about to park re-checks
+     instead of sleeping through the wakeup. *)
+  let publish p =
+    Atomic.incr p.epoch;
+    if Atomic.get p.sleepers > 0 then begin
+      Mutex.lock p.lock;
+      Condition.broadcast p.cond;
+      Mutex.unlock p.lock
+    end
+
+  let park p ~until =
+    let t0 = Unix.gettimeofday () in
+    Mutex.lock p.lock;
+    Atomic.incr p.sleepers;
+    while not (until ()) do
+      Condition.wait p.cond p.lock
+    done;
+    Atomic.decr p.sleepers;
+    Mutex.unlock p.lock;
+    Metrics.record park_timer (Unix.gettimeofday () -. t0)
+
+  (* Claim-and-run loop.  [stop] lets a joiner lending a hand to a
+     *different* region abandon it between items the moment its own
+     region completes; abandoned items are still claimed later by the
+     lent-to region's owner, whose own drain runs to exhaustion. *)
+  let drain ?stop p ~count r =
+    let stopped = match stop with None -> Fun.const false | Some f -> f in
+    let rec loop () =
+      if not (stopped ()) then begin
+        let i = Atomic.fetch_and_add r.next 1 in
+        if i < r.n then begin
+          if Atomic.get r.error = None then begin
+            Metrics.incr count;
+            r.run_item i
+          end
+          else Metrics.incr early_aborts;
+          if Atomic.fetch_and_add r.completed 1 = r.n - 1 then publish p;
+          loop ()
+        end
+      end
+    in
+    loop ()
+
+  let rec pop_live deque =
+    match Deque.pop deque with
+    | Some r when finished r -> pop_live deque
+    | other -> other
+
+  let rec pop_live_injector inj =
+    match Deque.Injector.pop inj with
+    | Some r when finished r -> pop_live_injector inj
+    | other -> other
+
+  let rec steal_live deque =
+    match Deque.steal deque with
+    | Some r when finished r -> steal_live deque
+    | other -> other
+
+  let try_steal p self =
+    let ws = Atomic.get p.workers in
+    let len = Array.length ws in
+    let start = match self with Some w -> w.cursor | None -> 0 in
+    let rec go k =
+      if k >= len then None
+      else begin
+        let victim = ws.((start + k) mod len) in
+        let own = match self with Some w -> victim == w | None -> false in
+        if own then go (k + 1)
+        else begin
+          match steal_live victim.deque with
+          | Some r ->
+              (match self with Some w -> w.cursor <- (start + k) mod len | None -> ());
+              Metrics.incr steals;
+              Some r
+          | None -> go (k + 1)
+        end
+      end
+    in
+    go 0
+
+  let find_work p self =
+    match match self with Some w -> pop_live w.deque | None -> None with
+    | Some r -> Some r
+    | None -> begin
+        match pop_live_injector p.injector with
+        | Some r -> Some r
+        | None -> try_steal p self
+      end
+
+  let rec worker_loop p w =
+    if not (Atomic.get p.stop) then begin
+      let e0 = Atomic.get p.epoch in
+      (match find_work p (Some w) with
+      | Some r -> drain p ~count:w.tasks r
+      | None -> park p ~until:(fun () -> Atomic.get p.stop || Atomic.get p.epoch <> e0));
+      worker_loop p w
+    end
+
+  let worker_main p w () =
+    Domain.DLS.set worker_key (Some w);
+    worker_loop p w
+
+  let create_pool () =
+    {
+      workers = Atomic.make [||];
+      injector = Deque.Injector.create ();
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      sleepers = Atomic.make 0;
+      epoch = Atomic.make 0;
+      stop = Atomic.make false;
+      spawned = [];
+    }
+
+  let shutdown p =
+    Atomic.set p.stop true;
+    Mutex.lock p.lock;
+    Condition.broadcast p.cond;
+    let spawned = p.spawned in
+    p.spawned <- [];
+    Mutex.unlock p.lock;
+    List.iter Domain.join spawned
+
+  let pool =
+    lazy
+      (let p = create_pool () in
+       (* Workers idle on the condition variable between regions; wake
+          and join them at exit so the process never tears down under
+          a domain mid-park. *)
+       at_exit (fun () -> shutdown p);
+       p)
+
+  (* [Domain.spawn] has a hard runtime cap; leave headroom for the
+     main domain and any domains the caller spawned itself. *)
+  let max_workers = 112
+
+  let ensure_workers p target =
+    let target = min target max_workers in
+    if Array.length (Atomic.get p.workers) < target then begin
+      Mutex.lock p.lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock p.lock)
+        (fun () ->
+          let current = Atomic.get p.workers in
+          let have = Array.length current in
+          if have < target then begin
+            let fresh =
+              Array.init (target - have) (fun k ->
+                  {
+                    deque = Deque.create ();
+                    tasks = Metrics.counter (Printf.sprintf "sched/worker%d/tasks" (have + k));
+                    cursor = 0;
+                  })
+            in
+            let all = Array.append current fresh in
+            (* Publish the deques before the domains start so early
+               thieves see every sibling. *)
+            Atomic.set p.workers all;
+            Array.iter
+              (fun w ->
+                match Domain.spawn (worker_main p w) with
+                | d ->
+                    Metrics.incr domains_spawned;
+                    p.spawned <- d :: p.spawned
+                | exception _ ->
+                    (* Out of domains: run narrower.  The orphan deque
+                       stays empty and thieves skip it. *)
+                    ())
+              fresh
+          end)
+    end
+
+  (* Wait for every claimed item of [r] to finish.  Pool workers (and
+     the external owner, which may steal even without a deque of its
+     own) help with other regions' tickets while they wait; with
+     nothing to help with, they park until the region's last item or
+     any new work bumps the epoch. *)
+  let join p self r =
+    let count = match self with Some w -> w.tasks | None -> external_tasks in
+    let rec loop () =
+      if not (finished r) then begin
+        let e0 = Atomic.get p.epoch in
+        match find_work p self with
+        | Some other ->
+            drain p ~stop:(fun () -> finished r) ~count other;
+            loop ()
+        | None ->
+            if not (finished r) then begin
+              park p ~until:(fun () -> finished r || Atomic.get p.epoch <> e0);
+              loop ()
+            end
+      end
+    in
+    loop ()
+
+  let parallel_init ~domains n f =
+    let p = Lazy.force pool in
+    ensure_workers p (domains - 1);
+    let results = Array.make n None in
+    let error = Atomic.make None in
+    let run_item i =
+      let was_in_region = Domain.DLS.get in_region_key in
+      Domain.DLS.set in_region_key true;
+      Metrics.incr tasks_run;
+      (match f i with
+      | v -> results.(i) <- Some v
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          ignore (Atomic.compare_and_set error None (Some (e, bt))));
+      Domain.DLS.set in_region_key was_in_region
+    in
+    let r = { n; next = Atomic.make 0; completed = Atomic.make 0; error; run_item } in
+    Metrics.incr regions_run;
+    let tickets = min (domains - 1) (n - 1) in
+    let self = Domain.DLS.get worker_key in
+    (match self with
+    | Some w ->
+        for _ = 1 to tickets do
+          Deque.push w.deque r
+        done
+    | None ->
+        for _ = 1 to tickets do
+          Deque.Injector.push p.injector r
+        done;
+        Metrics.add injections tickets);
+    publish p;
+    let count = match self with Some w -> w.tasks | None -> external_tasks in
+    drain p ~count r;
+    join p self r;
+    (match Atomic.get error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map Option.get results
+
+  let pool_workers () =
+    if Lazy.is_val pool then Array.length (Atomic.get (Lazy.force pool).workers) else 0
+end
+
+let pool_workers = Steal_sched.pool_workers
+
+(* -- common front door ----------------------------------------------------- *)
+
+let inline_init n f =
+  Metrics.incr inline_sweeps;
+  Metrics.add tasks_run n;
+  Array.init n f
+
 let parallel_init ?domains n f =
   if n < 0 then invalid_arg "Domain_pool.parallel_init: negative size";
   let domains = match domains with Some d -> d | None -> recommended_domains () in
-  if domains <= 1 || n <= 1 || in_parallel_region () then begin
-    Metrics.incr inline_sweeps;
-    Metrics.add tasks_run n;
-    Array.init n f
-  end
+  if domains <= 1 || n <= 1 then inline_init n f
   else begin
-    let results = Array.make n None in
-    let first_error = Atomic.make None in
-    let next = Atomic.make 0 in
-    let worker () =
-      Domain.DLS.set in_region_key true;
-      let continue = ref true in
-      while !continue do
-        (* Once a task has failed the sweep's outcome is decided:
-           stop claiming so the failure surfaces promptly instead of
-           burning the rest of the grid. *)
-        if Atomic.get first_error <> None then begin
-          Metrics.incr early_aborts;
-          continue := false
-        end
-        else begin
-          let i = Atomic.fetch_and_add next 1 in
-          if i >= n then continue := false
-          else begin
-            Metrics.incr tasks_run;
-            match f i with
-            | v -> results.(i) <- Some v
-            | exception e -> ignore (Atomic.compare_and_set first_error None (Some e))
-          end
-        end
-      done
-    in
-    let spawned = List.init (min domains n - 1) (fun _ -> Domain.spawn worker) in
-    Metrics.add domains_spawned (List.length spawned);
-    Fun.protect
-      ~finally:(fun () -> Domain.DLS.set in_region_key false)
-      worker;
-    List.iter Domain.join spawned;
-    (match Atomic.get first_error with Some e -> raise e | None -> ());
-    Array.map Option.get results
+    match scheduler () with
+    | Seq -> inline_init n f
+    | Flat ->
+        (* The flat pool never nests: a task spawning more domains on
+           an already-saturated machine would oversubscribe it. *)
+        if in_parallel_region () then inline_init n f else flat_parallel_init ~domains n f
+    | Steal -> Steal_sched.parallel_init ~domains n f
   end
 
 let parallel_map_list ?domains f items =
   let arr = Array.of_list items in
   Array.to_list (parallel_init ?domains (Array.length arr) (fun i -> f arr.(i)))
+
+let both ?domains f g =
+  let r =
+    parallel_init ?domains 2 (fun i -> if i = 0 then Either.Left (f ()) else Either.Right (g ()))
+  in
+  match (r.(0), r.(1)) with
+  | Either.Left a, Either.Right b -> (a, b)
+  | _ -> assert false

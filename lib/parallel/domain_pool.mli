@@ -2,39 +2,75 @@
 
     Every study in this repository is a sweep of independent
     evaluations (points of a figure, cells of a grid, candidate
-    periods, Monte-Carlo replicates); on a multicore machine they
-    parallelize trivially with OCaml 5 domains.  This module provides
-    a deterministic [parallel_init]: work items are claimed from an
-    atomic counter, each output slot is written by exactly one domain,
-    and joining the domains publishes all writes, so results are
-    identical to the sequential run regardless of scheduling.
+    periods, Monte-Carlo replicates).  [parallel_init] fans such a
+    sweep over OCaml 5 domains while staying deterministic: work items
+    are claimed from an atomic counter, each output slot is written by
+    exactly one task, and the caller reduces in index order, so
+    results are bit-identical to the sequential run regardless of
+    scheduling, domain count, or scheduler backend.
 
-    Calls nest without oversubscribing: a task that itself calls
-    [parallel_init] (the evaluation harness parallelizes replicates
-    while the studies parallelize configurations) runs its sub-work
-    inline on the claiming domain, so the machine never runs more than
-    one pool's worth of domains.
+    Three backends, selected by the [CKPT_SCHED] environment variable:
+
+    - [steal] (default): a process-wide persistent pool.  Worker
+      domains are spawned once (their DLS solver caches stay warm
+      across sweeps), park on a condition variable when idle, and pick
+      up work through per-worker Chase–Lev deques plus a lock-free
+      injection queue.  Nested calls *compose*: a task that itself
+      calls [parallel_init] forks a sub-region whose items are stolen
+      by whichever domains the outer sweep leaves idle, so a narrow or
+      skewed outer sweep no longer strands the rest of the machine.
+    - [flat]: the previous backend — domains spawned per call, nested
+      calls run inline on the claiming domain.  Kept for A/B pinning.
+    - [seq]: always inline, single-domain.  The reference for
+      determinism tests.
 
     Tasks must not share mutable state (the simulator's runs don't:
     each builds its own policies, traces and engine state). *)
 
+type sched = Seq | Flat | Steal
+
+val scheduler : unit -> sched
+(** The backend selected by [CKPT_SCHED] ([seq]/[flat]/[steal]),
+    defaulting to [Steal].  Re-read on every call, so tests and
+    benches can switch per region.  Malformed values warn once on
+    stderr and fall back to [Steal]. *)
+
 val recommended_domains : unit -> int
 (** [Domain.recommended_domain_count ()], overridden by the
-    [CKPT_DOMAINS] environment variable when set. *)
+    [CKPT_DOMAINS] environment variable when set.  [CKPT_DOMAINS] is
+    the total parallelism including the calling domain: the steal pool
+    keeps [CKPT_DOMAINS - 1] persistent workers (growing, never
+    shrinking, if later calls ask for more).  Malformed values ([0],
+    [-3], [abc]) warn once per value on stderr and fall back to the
+    hardware default. *)
 
 val in_parallel_region : unit -> bool
-(** True while the calling domain is executing a [parallel_init] task;
-    in that case any nested [parallel_init] runs inline. *)
+(** True while the calling domain is executing a [parallel_init] task.
+    Used by the evaluation harness to tell top-level tables (which own
+    the process-global timers/progress) from nested ones; the [flat]
+    backend additionally runs nested calls inline. *)
 
 val parallel_init : ?domains:int -> int -> (int -> 'a) -> 'a array
 (** [parallel_init ~domains n f] is [Array.init n f] evaluated by up
-    to [domains] domains (default {!recommended_domains}).  Falls back
-    to plain [Array.init] when [domains <= 1], [n <= 1] or when called
-    from inside another [parallel_init] task.  If any task raises,
-    workers stop claiming new work, and one of the raised exceptions
-    is re-raised after all domains have joined — a failing sweep
-    aborts promptly instead of executing the full remaining range.
+    to [domains] participating domains (default {!recommended_domains};
+    under [steal] this bounds the helper tickets forked for the
+    region).  Falls back to plain [Array.init] when [domains <= 1],
+    [n <= 1], under [CKPT_SCHED=seq], or (flat backend only) when
+    called from inside another [parallel_init] task.  If any task
+    raises, the region stops claiming new work and one of the raised
+    exceptions is re-raised — with the failing task's original
+    backtrace — after every claimed item has finished.
     @raise Invalid_argument if [n < 0]. *)
 
 val parallel_map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** List version of {!parallel_init}, preserving order. *)
+
+val both : ?domains:int -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+(** Fork/join pair: [both f g] evaluates [f ()] and [g ()] as one
+    two-item region (so under [steal] an idle domain can run one side)
+    and returns both results.  Exceptions propagate as in
+    {!parallel_init}. *)
+
+val pool_workers : unit -> int
+(** Worker domains currently spawned by the persistent pool (0 before
+    the first [steal] region; for telemetry and tests). *)

@@ -175,10 +175,12 @@ let degradation_table ~scenario ~policies ~replicates =
     if top_level then Some (Instrument.progress ~label:"degradation_table" ~total:replicates)
     else None
   in
-  (* Fan the replicates out (inline when nested under a study that
-     already parallelizes configurations), then reduce serially in
-     replicate order: the merge sequence — hence the table — is
-     bit-for-bit independent of the domain count. *)
+  (* Fan the replicates out — under the work-stealing scheduler this
+     composes with a study's own configuration fan-out (idle domains
+     steal replicate work from busy ones); under the flat pool a
+     nested call runs inline — then reduce serially in replicate
+     order: the merge sequence — hence the table — is bit-for-bit
+     independent of the domain count and of the scheduler backend. *)
   let outcomes =
     Domain_pool.parallel_init replicates (fun replicate ->
         let o = run_replicate ~scenario ~policies:policy_array replicate in

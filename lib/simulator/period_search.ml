@@ -47,9 +47,9 @@ let best_period ?(factors = default_factors ()) ?(tuning_replicates = 16) ~scena
         Scenario.traces scenario ~replicate:(tuning_offset + r))
   in
   (* Candidates are scored independently on the shared tuning sets:
-     fan them out (inline when already inside a parallel study), then
-     pick the winner in candidate order so ties break as the
-     sequential fold did. *)
+     fan them out (composing with an enclosing study's fan-out under
+     the work-stealing scheduler), then pick the winner in candidate
+     order so ties break as the sequential fold did. *)
   let scores =
     Ckpt_parallel.Domain_pool.parallel_map_list
       (fun p -> (p, average_tuning_makespan ~scenario ~trace_sets ~period:p))

@@ -15,10 +15,13 @@ let traces_generated = Metrics.counter "scenario/traces_generated"
    scores every candidate on one tuning set, policy sweeps re-run the
    same replicates per policy — so each scenario carries a bounded
    FIFO cache.  The cache is shared across domains (the evaluation
-   harness fans replicates out), hence the lock; generation itself
-   runs outside the lock, so a race at worst regenerates a set that is
-   bit-identical anyway. *)
-type cache = {
+   harness fans replicates out); a single lock would serialize every
+   replicate of a concurrently-evaluated table behind one mutex, so
+   the capacity is sharded into per-replicate-stripe locks (replicate
+   mod stripes) and concurrent replicates only contend when they hash
+   to the same stripe.  Generation itself runs outside the locks, so a
+   race at worst regenerates a set that is bit-identical anyway. *)
+type stripe = {
   lock : Mutex.t;
   table : (int, Trace_set.t) Hashtbl.t;
   order : int Queue.t;
@@ -27,7 +30,10 @@ type cache = {
   mutable misses : int;
 }
 
+type cache = { stripes : stripe array }
+
 let default_cache_capacity = 64
+let max_stripes = 16
 
 let cache_capacity () =
   match Sys.getenv_opt "CKPT_TRACE_CACHE" with
@@ -37,6 +43,27 @@ let cache_capacity () =
       | Some _ | None -> default_cache_capacity
     end
   | None -> default_cache_capacity
+
+(* Spread the total capacity over the stripes (never a zero-capacity
+   stripe: with fewer slots than stripes, use fewer stripes). *)
+let create_cache () =
+  let capacity = cache_capacity () in
+  if capacity = 0 then { stripes = [||] }
+  else begin
+    let n = min max_stripes capacity in
+    {
+      stripes =
+        Array.init n (fun i ->
+            {
+              lock = Mutex.create ();
+              table = Hashtbl.create 16;
+              order = Queue.create ();
+              capacity = (capacity / n) + (if i < capacity mod n then 1 else 0);
+              hits = 0;
+              misses = 0;
+            });
+    }
+  end
 
 type t = {
   job : Job.t;
@@ -56,64 +83,52 @@ let create ?(seed = 0x5EEDL) ?horizon ?start_time job =
   in
   if start_time < 0. || start_time >= horizon then
     invalid_arg "Scenario.create: start_time outside [0, horizon)";
-  {
-    job;
-    seed;
-    horizon;
-    start_time;
-    cache =
-      {
-        lock = Mutex.create ();
-        table = Hashtbl.create 64;
-        order = Queue.create ();
-        capacity = cache_capacity ();
-        hits = 0;
-        misses = 0;
-      };
-  }
+  { job; seed; horizon; start_time; cache = create_cache () }
 
 let generate t ~replicate =
   Metrics.incr traces_generated;
   Trace_set.generate ~seed:t.seed ~replicate t.job.Job.dist
     ~processors:(Job.failure_units t.job) ~horizon:t.horizon
 
-let locked c f =
-  Mutex.lock c.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock c.lock) f
+let locked s f =
+  Mutex.lock s.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
 
 (* One trace per failure unit. *)
 let traces t ~replicate =
   let c = t.cache in
-  if c.capacity = 0 then generate t ~replicate
+  if Array.length c.stripes = 0 then generate t ~replicate
   else begin
+    let s = c.stripes.(abs (replicate mod Array.length c.stripes)) in
     match
-      locked c (fun () ->
-          match Hashtbl.find_opt c.table replicate with
+      locked s (fun () ->
+          match Hashtbl.find_opt s.table replicate with
           | Some v ->
-              c.hits <- c.hits + 1;
+              s.hits <- s.hits + 1;
               Metrics.incr cache_hits;
               Some v
           | None ->
-              c.misses <- c.misses + 1;
+              s.misses <- s.misses + 1;
               Metrics.incr cache_misses;
               None)
     with
     | Some v -> v
     | None ->
         let v = generate t ~replicate in
-        locked c (fun () ->
-            if not (Hashtbl.mem c.table replicate) then begin
-              if Hashtbl.length c.table >= c.capacity then
-                Hashtbl.remove c.table (Queue.pop c.order);
-              Hashtbl.add c.table replicate v;
-              Queue.push replicate c.order
+        locked s (fun () ->
+            if not (Hashtbl.mem s.table replicate) then begin
+              if Hashtbl.length s.table >= s.capacity then
+                Hashtbl.remove s.table (Queue.pop s.order);
+              Hashtbl.add s.table replicate v;
+              Queue.push replicate s.order
             end);
         v
   end
 
 let cache_stats t =
-  let c = t.cache in
-  locked c (fun () -> (c.hits, c.misses))
+  Array.fold_left
+    (fun (hits, misses) s -> locked s (fun () -> (hits + s.hits, misses + s.misses)))
+    (0, 0) t.cache.stripes
 
 let initial_lifetime_starts t traces =
   let d = Job.downtime t.job in

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 scheduler matrix: the full test suite must be green under
+# every CKPT_SCHED backend so a scheduler regression cannot land
+# silently.  Extra arguments are passed through to `dune runtest`
+# (e.g. `test/run_matrix.sh --display quiet`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+for mode in seq flat steal; do
+  echo "== dune runtest (CKPT_SCHED=$mode) =="
+  if ! CKPT_SCHED=$mode dune runtest --force "$@"; then
+    echo "FAIL: test suite is red under CKPT_SCHED=$mode" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "scheduler matrix: all three backends green"
+fi
+exit "$status"

@@ -408,6 +408,36 @@ let test_engine_fast_paths_bit_identical () =
   in
   check Alcotest.bool "fast paths change nothing" true (fast = slow)
 
+let test_evaluation_steal_scheduler_deterministic () =
+  (* Regression for the work-stealing scheduler: the full evaluation
+     determinism suite under CKPT_SCHED=steal must produce the exact
+     sequential-reference table at every domain count — including a DP
+     policy, whose solved tables are cached per (persistent) domain. *)
+  let policies () =
+    [ Policy.periodic "a" ~period:900.; Policy.periodic "b" ~period:2000.;
+      Ckpt_policies.Dp_policies.dp_makespan ~cap_states:40 (eval_scenario ()).Scenario.job ]
+  in
+  let table_with ~sched ~domains =
+    (* A fresh scenario per run: no trace-set cache sharing between
+       the reference and scheduled runs. *)
+    with_env "CKPT_SCHED" sched (fun () ->
+        with_domains domains (fun () ->
+            Evaluation.degradation_table ~scenario:(eval_scenario ()) ~policies:(policies ())
+              ~replicates:6))
+  in
+  let reference = table_with ~sched:"seq" ~domains:1 in
+  List.iter
+    (fun domains ->
+      let stolen = table_with ~sched:"steal" ~domains in
+      check Alcotest.bool
+        (Printf.sprintf "steal CKPT_DOMAINS=%d == seq" domains)
+        true (stolen = reference);
+      check Alcotest.string
+        (Printf.sprintf "identical rendering at CKPT_DOMAINS=%d" domains)
+        (Format.asprintf "%a" Evaluation.pp_table reference)
+        (Format.asprintf "%a" Evaluation.pp_table stolen))
+    [ 1; 2; 8 ]
+
 let contains_substring haystack needle =
   let h = String.length haystack and n = String.length needle in
   let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
@@ -789,6 +819,8 @@ let () =
           Alcotest.test_case "average makespan" `Quick test_average_makespan;
           Alcotest.test_case "parallel = serial (CKPT_DOMAINS)" `Quick
             test_evaluation_parallel_deterministic;
+          Alcotest.test_case "steal scheduler = seq (CKPT_SCHED matrix)" `Quick
+            test_evaluation_steal_scheduler_deterministic;
           Alcotest.test_case "no nan in printed tables" `Quick test_evaluation_no_nan_printed;
           Alcotest.test_case "trace cache reuse" `Quick test_trace_cache_reuses_sets;
           Alcotest.test_case "invalid" `Quick test_evaluation_invalid;
