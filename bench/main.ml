@@ -356,9 +356,7 @@ let previous_json_field ~path ~field =
   with Sys_error _ | End_of_file -> None
 
 let write_bench_json ~path ~meta contents =
-  let oc = open_out path in
-  output_string oc contents;
-  close_out oc;
+  Ckpt_store.Atomic_file.write ~path contents;
   T.Provenance.write_sidecar ~extra:meta ~path ();
   Printf.printf "wrote %s (and %s)\n%!" path (T.Provenance.sidecar_path path)
 
@@ -660,6 +658,12 @@ let run_sched_bench () =
     "\n=== Scheduler (nested %d-config x %d-replicate study, flat pool vs work stealing) ===\n%!"
     (List.length sched_processor_counts)
     sched_replicates;
+  (* Hardware parallelism, captured before any CKPT_DOMAINS
+     manipulation: a point timed with more domains than physical cores
+     measures timeslicing, not scheduling, and must not count toward
+     the speedup target. *)
+  let physical_cores = Domain.recommended_domain_count () in
+  let oversubscribed domains = domains > physical_cores in
   let reference, _ = timed_sched_workload ~sched:"seq" ~domains:1 in
   let deterministic = ref true in
   let curve =
@@ -670,8 +674,11 @@ let run_sched_bench () =
         if flat_tables <> reference || steal_tables <> reference then deterministic := false;
         let speedup = flat_s /. steal_s in
         Printf.printf
-          "domains=%d: flat %7.3f s   steal %7.3f s   steal/flat speedup %.2fx\n%!" domains
-          flat_s steal_s speedup;
+          "domains=%d: flat %7.3f s   steal %7.3f s   steal/flat speedup %.2fx%s\n%!" domains
+          flat_s steal_s speedup
+          (if oversubscribed domains then
+             Printf.sprintf "   [oversubscribed: %d physical cores]" physical_cores
+           else "");
         (domains, flat_s, steal_s))
       sched_domain_counts
   in
@@ -679,23 +686,45 @@ let run_sched_bench () =
     (if !deterministic then "every mode and domain count matches the sequential tables"
      else "MISMATCH against the sequential reference tables");
   if not !deterministic then exit 1;
+  (* The 1.5x target only holds where the domains are real: an
+     oversubscribed point can meet (or miss) it through timeslicing
+     noise, so such points never verify the target. *)
+  let target_points =
+    List.filter (fun (domains, _, _) -> domains >= 4 && not (oversubscribed domains)) curve
+  in
+  let target_verifiable = target_points <> [] in
   let best_nested_speedup =
     List.fold_left
-      (fun acc (domains, flat_s, steal_s) ->
-        if domains >= 4 then Float.max acc (flat_s /. steal_s) else acc)
-      0. curve
+      (fun acc (_, flat_s, steal_s) -> Float.max acc (flat_s /. steal_s))
+      0. target_points
   in
-  Printf.printf "best steal-vs-flat speedup at >= 4 domains: %.2fx (target 1.5x)\n%!"
-    best_nested_speedup;
-  if best_nested_speedup < 1.5 then begin
+  if not target_verifiable then begin
+    Printf.printf
+      "OVERSUBSCRIBED: only %d physical core(s); every >= 4-domain point exceeds the \
+       machine, so the 1.5x steal-vs-flat target cannot be verified on this host\n%!"
+      physical_cores;
     if Sys.getenv_opt "CKPT_BENCH_ASSERT" = Some "1" then begin
       Printf.eprintf
-        "FAIL: work-stealing scheduler below the 1.5x nested-workload target at >= 4 domains\n%!";
+        "FAIL: CKPT_BENCH_ASSERT=1 but the nested-workload target is unverifiable (%d \
+         physical cores < 4)\n%!"
+        physical_cores;
       exit 1
     end
-    else
-      Printf.printf
-        "WARNING: below the 1.5x nested target (needs >= 4 cores; CKPT_BENCH_ASSERT=1 enforces)\n%!"
+  end
+  else begin
+    Printf.printf "best steal-vs-flat speedup at >= 4 domains: %.2fx (target 1.5x)\n%!"
+      best_nested_speedup;
+    if best_nested_speedup < 1.5 then begin
+      if Sys.getenv_opt "CKPT_BENCH_ASSERT" = Some "1" then begin
+        Printf.eprintf
+          "FAIL: work-stealing scheduler below the 1.5x nested-workload target at >= 4 \
+           domains\n%!";
+        exit 1
+      end
+      else
+        Printf.printf
+          "WARNING: below the 1.5x nested target (CKPT_BENCH_ASSERT=1 enforces)\n%!"
+    end
   end;
   let curve_json =
     String.concat ",\n"
@@ -703,12 +732,22 @@ let run_sched_bench () =
          (fun (domains, flat_s, steal_s) ->
            Printf.sprintf
              "    { \"domains\": %d, \"flat_seconds\": %.6f, \"steal_seconds\": %.6f, \
-              \"speedup\": %.3f }"
-             domains flat_s steal_s (flat_s /. steal_s))
+              \"speedup\": %.3f, \"oversubscribed\": %b }"
+             domains flat_s steal_s (flat_s /. steal_s) (oversubscribed domains))
          curve)
   in
+  let oversubscribed_domains =
+    List.filter_map
+      (fun (domains, _, _) -> if oversubscribed domains then Some (string_of_int domains) else None)
+      curve
+  in
   write_bench_json ~path:"BENCH_sched.json"
-    ~meta:[ ("bench", "nested-scheduler") ]
+    ~meta:
+      [
+        ("bench", "nested-scheduler");
+        ("physical_cores", string_of_int physical_cores);
+        ("oversubscribed_domain_counts", String.concat "," oversubscribed_domains);
+      ]
     (Printf.sprintf
        "{\n\
        \  \"bench\": \"nested-scheduler\",\n\
@@ -717,16 +756,18 @@ let run_sched_bench () =
        \  \"policies\": 3,\n\
        \  \"distribution\": \"weibull(k=0.7)\",\n\
        \  \"processor_counts\": [%s],\n\
+       \  \"physical_cores\": %d,\n\
        \  \"curve\": [\n\
         %s\n\
        \  ],\n\
        \  \"best_nested_speedup_at_4plus\": %.3f,\n\
+       \  \"target_verifiable\": %b,\n\
        \  \"deterministic\": true\n\
         }\n"
        (List.length sched_processor_counts)
        sched_replicates
        (String.concat ", " (List.map string_of_int sched_processor_counts))
-       curve_json best_nested_speedup)
+       physical_cores curve_json best_nested_speedup target_verifiable)
 
 let () =
   let skip name = Sys.getenv_opt name = Some "1" in

@@ -219,9 +219,7 @@ let schedule_cmd =
     match out with
     | None -> ()
     | Some path ->
-        let oc = open_out path in
-        output_string oc (Po.Schedule.to_csv entries);
-        close_out oc;
+        Ckpt_store.Atomic_file.write ~path (Po.Schedule.to_csv entries);
         Printf.printf "wrote %s\n" path
   in
   let term =
@@ -449,6 +447,69 @@ let experiment_cmd =
   let term = Term.(const run $ id_arg $ full_arg $ traces_arg) in
   Cmd.v (Cmd.info "experiment" ~doc:"Regenerate a paper table/figure by id (or 'all').") term
 
+(* -- sweep ----------------------------------------------------------------- *)
+
+let sweep_cmd =
+  let ids_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all).")
+  in
+  let resume_arg =
+    let doc =
+      "Checkpoint-store directory: completed (experiment, scenario, replicate-stripe) units \
+       are persisted here and skipped on re-run, so an interrupted sweep resumes where it \
+       left off with bit-identical output.  Defaults to $(b,CKPT_SWEEP_DIR)."
+    in
+    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"DIR" ~doc)
+  in
+  let full_arg = Arg.(value & flag & info [ "full" ] ~doc:"Paper-scale parameters.") in
+  let traces_arg =
+    Arg.(value & opt int 0 & info [ "traces" ] ~docv:"N" ~doc:"Replicates per configuration.")
+  in
+  let run ids resume full traces =
+    let config = E.Config.default () in
+    let dir =
+      match resume with
+      | Some d -> d
+      | None -> (
+          match config.E.Config.sweep_dir with
+          | Some d -> d
+          | None ->
+              prerr_endline "ckpt sweep: pass --resume DIR (or set CKPT_SWEEP_DIR)";
+              exit 2)
+    in
+    let config =
+      {
+        config with
+        E.Config.full = config.E.Config.full || full;
+        replicates = (if traces > 0 then traces else config.E.Config.replicates);
+        sweep_dir = Some dir;
+      }
+    in
+    E.Sweep_store.reset_stats ();
+    (match ids with
+    | [] | [ "all" ] -> E.Registry.run_all config
+    | ids ->
+        List.iter
+          (fun id ->
+            match E.Registry.find id with
+            | Some e -> e.E.Registry.run config
+            | None ->
+                Printf.eprintf "unknown experiment %S; known: %s\n" id
+                  (String.concat ", " (E.Registry.ids ()));
+                exit 2)
+          ids);
+    let s = E.Sweep_store.stats () in
+    Printf.printf "sweep store %s: %d units skipped, %d computed, %d invalidated\n%!" dir
+      s.E.Sweep_store.skipped s.E.Sweep_store.computed s.E.Sweep_store.invalidated
+  in
+  let term = Term.(const run $ ids_arg $ resume_arg $ full_arg $ traces_arg) in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run experiments against a resumable checkpoint store: interrupt freely, re-run \
+          with the same $(b,--resume) directory, and only incomplete units are recomputed.")
+    term
+
 let () =
   let doc = "Checkpointing strategies for parallel jobs (Bougeret et al., SC'11 reproduction)" in
   let info = Cmd.info "ckpt" ~version:"1.0.0" ~doc in
@@ -457,5 +518,5 @@ let () =
        (Cmd.group info
           [
             period_cmd; simulate_cmd; schedule_cmd; mtbf_cmd; waste_cmd; trace_cmd; stats_cmd;
-            trace_stats_cmd; gen_log_cmd; fit_log_cmd; experiment_cmd;
+            trace_stats_cmd; gen_log_cmd; fit_log_cmd; experiment_cmd; sweep_cmd;
           ]))

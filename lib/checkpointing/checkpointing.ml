@@ -29,6 +29,11 @@ module Numerics = struct
   module Histogram = Ckpt_numerics.Histogram
 end
 
+(** Crash-safe filesystem primitives (atomic artifact writes). *)
+module Store = struct
+  module Atomic_file = Ckpt_store.Atomic_file
+end
+
 (** Multicore fan-out: persistent work-stealing scheduler. *)
 module Parallel = struct
   module Deque = Ckpt_parallel.Deque
@@ -116,4 +121,5 @@ module Experiments = struct
   module Registry = Ckpt_experiments.Registry
   module Setup = Ckpt_experiments.Setup
   module Report = Ckpt_experiments.Report
+  module Sweep_store = Ckpt_experiments.Sweep_store
 end

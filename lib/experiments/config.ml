@@ -1,4 +1,4 @@
-type t = { replicates : int; full : bool; seed : int64 }
+type t = { replicates : int; full : bool; seed : int64; sweep_dir : string option }
 
 let getenv_int name =
   match Sys.getenv_opt name with
@@ -15,9 +15,14 @@ let default () =
   let seed =
     match getenv_int "CKPT_SEED" with Some s -> Int64.of_int s | None -> 0x5EEDL
   in
-  { replicates; full; seed }
+  let sweep_dir =
+    match Sys.getenv_opt "CKPT_SWEEP_DIR" with
+    | Some d when String.trim d <> "" -> Some (String.trim d)
+    | Some _ | None -> None
+  in
+  { replicates; full; seed; sweep_dir }
 
-let quick = { replicates = 4; full = false; seed = 0x5EEDL }
+let quick = { replicates = 4; full = false; seed = 0x5EEDL; sweep_dir = None }
 
 let scale t ~quick ~full =
   if t.replicates > 0 then t.replicates else if t.full then full else quick

@@ -7,12 +7,16 @@
 
     - [CKPT_TRACES=<n>]   replicates per configuration;
     - [CKPT_FULL=1]       paper-scale defaults (600 traces, full grids);
-    - [CKPT_SEED=<int>]   root seed. *)
+    - [CKPT_SEED=<int>]   root seed;
+    - [CKPT_SWEEP_DIR=<dir>]  resumable sweep store (see {!Sweep_store}). *)
 
 type t = {
   replicates : int;
   full : bool;
   seed : int64;
+  sweep_dir : string option;
+      (** when set, studies checkpoint each unit of work here and skip
+          completed units on re-run (see {!Sweep_store}). *)
 }
 
 val default : unit -> t

@@ -81,8 +81,9 @@ let exascale_cells ~full =
     ]
 
 let run_cell ?(config = Config.default ()) cell =
-  Scaling_study.run ~config ~workload_model:cell.workload_model ~preset:cell.preset
-    ~dist_kind:cell.dist_kind ()
+  Scaling_study.run ~config
+    ~experiment:("grid_" ^ cell_name cell)
+    ~workload_model:cell.workload_model ~preset:cell.preset ~dist_kind:cell.dist_kind ()
 
 (* Panels (a)/(b) of each appendix figure: the period-multiplier sweep
    at a small and (in full runs) at the largest enrollment. *)

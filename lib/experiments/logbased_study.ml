@@ -34,6 +34,7 @@ let run ?(config = Config.default ()) ?processor_counts ~cluster () =
   in
   let preset = P.Presets.petascale () in
   let replicates = Config.scale config ~quick:8 ~full:600 in
+  let store = Sweep_store.of_config config in
   let points =
     (* Two-to-four processor counts whose cost grows with the count:
        the nested replicate fan-out composes under the work-stealing
@@ -50,7 +51,16 @@ let run ?(config = Config.default ()) ?processor_counts ~cluster () =
            (Section 6); OptExp and the Daly family pretend the
            distribution is Exponential with the empirical MTBF. *)
         let policies = Setup.policies ~liu:false ~bouguerra:false scenario in
-        { processors; table = S.Evaluation.degradation_table ~scenario ~policies ~replicates })
+        let table =
+          Sweep_store.degradation_table ?store
+            ~params:[ ("cluster", cluster_name cluster) ]
+            ~experiment:
+              (Printf.sprintf "logbased_%s_p%d"
+                 (match cluster with Cluster18 -> "c18" | Cluster19 -> "c19")
+                 processors)
+            ~scenario ~policies ~replicates ()
+        in
+        { processors; table })
       counts
   in
   { cluster; empirical_mtbf = F.Failure_log.mean_interval log; points }

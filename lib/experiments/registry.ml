@@ -157,6 +157,31 @@ let all () =
       description = "extension: progress-dependent checkpoint/recovery costs (conclusion)";
       run = (fun config -> Variable_cost.print ~config ());
     };
+    {
+      id = "sweep-smoke";
+      description = "tiny scaling sweep for exercising the resumable sweep store";
+      run =
+        (fun config ->
+          (* Deliberately small (64-processor platform, short traces):
+             seconds per unit, so the kill-and-resume smoke test in
+             test/run_matrix.sh can interrupt it mid-sweep and still
+             finish the resumed run quickly. *)
+          let preset =
+            {
+              P.Presets.label = "mini";
+              machine =
+                P.Machine.create ~total_processors:64 ~downtime:50.
+                  ~overhead:(P.Overhead.constant 100.);
+              total_work = 4e6;
+              processor_mtbf = 2e5;
+              job_processor_counts = [ 16; 64 ];
+            }
+          in
+          Scaling_study.print
+            (Scaling_study.run ~config ~experiment:"sweep_smoke" ~preset
+               ~dist_kind:(Setup.Weibull 0.7) ())
+            ~csv:"sweep_smoke.csv");
+    };
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) (all ())

@@ -102,17 +102,12 @@ let csv_of_table table =
 let results_dir () =
   match Sys.getenv_opt "CKPT_RESULTS_DIR" with Some d when d <> "" -> d | _ -> "results"
 
-let rec ensure_dir path =
-  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path) then begin
-    ensure_dir (Filename.dirname path);
-    try Sys.mkdir path 0o755 with Sys_error _ -> ()
-  end
-
 let write_csv ?(meta = []) ~path contents =
-  ensure_dir (Filename.dirname path);
-  let oc = open_out path in
-  output_string oc contents;
-  close_out oc;
+  (* Atomic (tempfile + fsync + rename): a crash or a concurrent
+     reader never sees a torn CSV, and a genuine mkdir failure raises
+     here instead of being swallowed and resurfacing as a confusing
+     open error. *)
+  Ckpt_store.Atomic_file.write ~path contents;
   (* Every artifact carries its provenance: "<path>.meta.json" with
      the git revision, command line, CKPT_* knobs, domain count and
      the caller's parameters. *)

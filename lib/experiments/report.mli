@@ -27,7 +27,9 @@ val csv_of_table : Ckpt_simulator.Evaluation.table -> string
     standard deviation, average makespan, successes, failure stats. *)
 
 val write_csv : ?meta:(string * string) list -> path:string -> string -> unit
-(** Create parent directory as needed and write the contents, plus a
+(** Atomically write the contents ({!Ckpt_store.Atomic_file.write}:
+    parent directories created as needed, tempfile + fsync + rename,
+    so a crash or concurrent reader never sees a torn CSV), plus a
     provenance sidecar [<path>.meta.json]
     ({!Ckpt_telemetry.Provenance}) with [meta] as its caller-supplied
     parameters (e.g. scenario settings, seeds). *)

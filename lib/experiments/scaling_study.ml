@@ -23,8 +23,9 @@ let subsample full counts =
         List.filteri (fun i _ -> i = 0 || i = n / 2 || i = n - 1) counts
   end
 
-let run ?(config = Config.default ()) ?(workload_model = P.Workload.Embarrassingly_parallel)
-    ?include_dp_makespan ?processor_counts ~preset ~dist_kind () =
+let run ?(config = Config.default ()) ?(experiment = "scaling")
+    ?(workload_model = P.Workload.Embarrassingly_parallel) ?include_dp_makespan
+    ?processor_counts ~preset ~dist_kind () =
   let dp_makespan =
     match include_dp_makespan with
     | Some b -> b
@@ -37,6 +38,14 @@ let run ?(config = Config.default ()) ?(workload_model = P.Workload.Embarrassing
   in
   let dist = Setup.distribution dist_kind ~mtbf:preset.P.Presets.processor_mtbf in
   let replicates = Config.scale config ~quick:8 ~full:600 in
+  let store = Sweep_store.of_config config in
+  let sweep_params =
+    [
+      ("preset", preset.P.Presets.label);
+      ("dist_kind", Setup.dist_kind_name dist_kind);
+      ("workload", P.Workload.model_name workload_model);
+    ]
+  in
   (* Each point is an independent evaluation (own policies, traces,
      engine state): fan out across domains.  Points differ wildly in
      cost (more processors, slower replicates), but under the
@@ -48,7 +57,12 @@ let run ?(config = Config.default ()) ?(workload_model = P.Workload.Embarrassing
       (fun processors ->
         let scenario = Setup.scenario ~config ~dist ~preset ~workload_model ~processors () in
         let policies = Setup.policies ~dp_makespan scenario in
-        { processors; table = S.Evaluation.degradation_table ~scenario ~policies ~replicates })
+        let table =
+          Sweep_store.degradation_table ?store ~params:sweep_params
+            ~experiment:(Printf.sprintf "%s_p%d" experiment processors)
+            ~scenario ~policies ~replicates ()
+        in
+        { processors; table })
       counts
   in
   let title =

@@ -15,6 +15,7 @@ type t = {
 
 val run :
   ?config:Config.t ->
+  ?experiment:string ->
   ?workload_model:Ckpt_platform.Workload.model ->
   ?include_dp_makespan:bool ->
   ?processor_counts:int list ->
@@ -26,7 +27,10 @@ val run :
     (Figures 2-3 include DPMakespan; the Weibull figures cannot,
     Section 4.1) and false otherwise.  Default processor counts come
     from the preset; quick (non-full) runs subsample them to the ends
-    and middle of the range. *)
+    and middle of the range.  [experiment] (default ["scaling"]) names
+    this sweep in the resumable store when the config carries a
+    [sweep_dir] — callers running several scaling sweeps under one
+    store must pass distinct names. *)
 
 val print : t -> csv:string -> unit
 (** Render one degradation column per policy (plus LowerBound) against

@@ -21,6 +21,7 @@ let run ?(config = Config.default ()) ?shapes ?processors () =
     match processors with Some p -> p | None -> preset.P.Presets.machine.P.Machine.total_processors
   in
   let replicates = Config.scale config ~quick:8 ~full:600 in
+  let store = Sweep_store.of_config config in
   let points =
     (* Low shapes are far slower to simulate than high ones (more
        failures per trace): composing with the nested replicate
@@ -34,7 +35,13 @@ let run ?(config = Config.default ()) ?shapes ?processors () =
             ~workload_model:P.Workload.Embarrassingly_parallel ~processors ()
         in
         let policies = Setup.policies scenario in
-        { shape; table = S.Evaluation.degradation_table ~scenario ~policies ~replicates })
+        let table =
+          Sweep_store.degradation_table ?store
+            ~params:[ ("shape", Printf.sprintf "%g" shape) ]
+            ~experiment:(Printf.sprintf "shape_p%d" processors)
+            ~scenario ~policies ~replicates ()
+        in
+        { shape; table })
       shapes
   in
   { points }

@@ -27,13 +27,21 @@ let run ?(config = Config.default ()) ?processors () =
   let policy = Po.Dp_policies.dp_next_failure scenario.S.Scenario.job in
   let replicates = Config.scale config ~quick:10 ~full:600 in
   let counts =
-    (* Flat replicate sweep; claims rebalance at item granularity, so
-       a straggler replicate never strands the other domains. *)
-    Ckpt_parallel.Domain_pool.parallel_init replicates (fun replicate ->
+    (* Stripe-parallel replicate sweep (claims rebalance at item
+       granularity, so a straggler replicate never strands the other
+       domains), checkpointed per stripe when the config carries a
+       sweep store. *)
+    Sweep_store.floats
+      ?store:(Sweep_store.of_config config)
+      ~experiment:(Printf.sprintf "spares_p%d" processors)
+      ~params:[ ("policy", policy.Po.Policy.name) ]
+      ~scenario ~replicates
+      ~f:(fun replicate ->
         let traces = S.Scenario.traces scenario ~replicate in
         match S.Engine.run ~scenario ~traces ~policy with
         | S.Engine.Completed m -> float_of_int m.S.Engine.failures
         | S.Engine.Policy_failed _ -> nan)
+      ()
     |> Array.to_list
     |> List.filter (fun c -> not (Float.is_nan c))
     |> Array.of_list

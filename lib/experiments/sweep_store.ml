@@ -1,0 +1,217 @@
+module Scenario = Ckpt_simulator.Scenario
+module Evaluation = Ckpt_simulator.Evaluation
+module Policy = Ckpt_policies.Policy
+module Job = Ckpt_policies.Job
+module Machine = Ckpt_platform.Machine
+module Overhead = Ckpt_platform.Overhead
+module Distribution = Ckpt_distributions.Distribution
+module Domain_pool = Ckpt_parallel.Domain_pool
+module Atomic_file = Ckpt_store.Atomic_file
+module Metrics = Ckpt_telemetry.Metrics
+module Provenance = Ckpt_telemetry.Provenance
+
+type t = { root : string }
+
+let create ~dir =
+  Atomic_file.mkdir_p dir;
+  { root = dir }
+
+let dir t = t.root
+
+let of_config config =
+  match config.Config.sweep_dir with None -> None | Some d -> Some (create ~dir:d)
+
+(* -- unit counters ----------------------------------------------------------- *)
+
+type stats = { skipped : int; computed : int; invalidated : int }
+
+let skipped = Atomic.make 0
+let computed = Atomic.make 0
+let invalidated = Atomic.make 0
+let m_skipped = Metrics.counter "sweep/units_skipped"
+let m_computed = Metrics.counter "sweep/units_computed"
+let m_invalidated = Metrics.counter "sweep/units_invalidated"
+
+let bump cell counter =
+  Atomic.incr cell;
+  Metrics.incr counter
+
+let stats () =
+  { skipped = Atomic.get skipped; computed = Atomic.get computed;
+    invalidated = Atomic.get invalidated }
+
+let reset_stats () =
+  Atomic.set skipped 0;
+  Atomic.set computed 0;
+  Atomic.set invalidated 0
+
+(* -- content addressing ------------------------------------------------------
+
+   The unit key digests every input the unit's result depends on:
+   experiment name, the full scenario (distribution, job shape,
+   machine, seed, horizon), the policy roster, the replicate count and
+   the stripe layout, plus any caller-supplied parameters.  Floats are
+   rendered in hexadecimal so the key sees their exact bits.  Any
+   change lands on a fresh key — the snippet-style invalidation rule:
+   stale state is never consulted, only orphaned. *)
+
+let hex = Printf.sprintf "%h"
+
+let fingerprint ~kind ~experiment ~scenario ~policy_names ~replicates ~params =
+  let job = scenario.Scenario.job in
+  let machine = job.Job.machine in
+  let dist = job.Job.dist in
+  let overhead =
+    match machine.Machine.overhead with
+    | Overhead.Constant c -> Printf.sprintf "constant:%s" (hex c)
+    | Overhead.Proportional { cost_at; reference_processors } ->
+        Printf.sprintf "proportional:%s@%d" (hex cost_at) reference_processors
+  in
+  let base =
+    [
+      ("kind", kind);
+      ("experiment", experiment);
+      ("dist", dist.Distribution.name);
+      ("dist_mean", hex dist.Distribution.mean);
+      ("processors", string_of_int job.Job.processors);
+      ("group_size", string_of_int job.Job.group_size);
+      ("work_time", hex job.Job.work_time);
+      ("total_processors", string_of_int machine.Machine.total_processors);
+      ("downtime", hex machine.Machine.downtime);
+      ("overhead", overhead);
+      ("seed", Int64.to_string scenario.Scenario.seed);
+      ("horizon", hex scenario.Scenario.horizon);
+      ("start_time", hex scenario.Scenario.start_time);
+      ("policies", String.concat "," policy_names);
+      ("replicates", string_of_int replicates);
+      ("stripe_size", string_of_int (Evaluation.stripe_size ()));
+    ]
+  in
+  base @ List.sort compare params
+
+let digest_of fields =
+  Digest.to_hex
+    (Digest.string (String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) fields)))
+
+let sanitize s =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c | _ -> '_')
+    s
+
+let unit_path store ~experiment ~digest ~stripe =
+  Filename.concat store.root
+    (Printf.sprintf "%s-%s.stripe%03d.part" (sanitize experiment) digest stripe)
+
+(* -- unit persistence --------------------------------------------------------
+
+   One file per unit: a header binding the content digest and stripe
+   index, then the payload.  The header guards against a file whose
+   name and contents disagree (manual copies, filesystem corruption);
+   such a unit counts as invalidated and is recomputed in place. *)
+
+let header ~digest ~stripe = Printf.sprintf "ckpt-sweep/1 %s stripe=%d" digest stripe
+
+let load ~path ~digest ~stripe ~decode =
+  match Atomic_file.read path with
+  | None -> None
+  | Some contents -> (
+      let valid =
+        match String.index_opt contents '\n' with
+        | None -> None
+        | Some i ->
+            if String.sub contents 0 i <> header ~digest ~stripe then None
+            else decode (String.sub contents (i + 1) (String.length contents - i - 1))
+      in
+      match valid with
+      | Some v ->
+          bump skipped m_skipped;
+          Some v
+      | None ->
+          bump invalidated m_invalidated;
+          None)
+
+let persist ~path ~digest ~stripe ~fields payload =
+  Atomic_file.write ~path (header ~digest ~stripe ^ "\n" ^ payload);
+  Provenance.write_sidecar
+    ~extra:(("unit_stripe", string_of_int stripe) :: fields)
+    ~path ()
+
+let load_or_compute ~path ~digest ~stripe ~fields ~decode ~encode compute =
+  match load ~path ~digest ~stripe ~decode with
+  | Some v -> v
+  | None ->
+      let v = compute () in
+      persist ~path ~digest ~stripe ~fields (encode v);
+      bump computed m_computed;
+      v
+
+(* -- entry points ------------------------------------------------------------ *)
+
+let degradation_table ?store ?(params = []) ~experiment ~scenario ~policies ~replicates () =
+  match store with
+  | None -> Evaluation.degradation_table ~scenario ~policies ~replicates
+  | Some store ->
+      let policy_names = List.map (fun p -> p.Policy.name) policies in
+      let fields =
+        fingerprint ~kind:"table" ~experiment ~scenario ~policy_names ~replicates ~params
+      in
+      let digest = digest_of fields in
+      let partials =
+        Domain_pool.parallel_init (Evaluation.stripe_count ~replicates) (fun stripe ->
+            let path = unit_path store ~experiment ~digest ~stripe in
+            load_or_compute ~path ~digest ~stripe ~fields
+              ~decode:Evaluation.deserialize_partial ~encode:Evaluation.serialize_partial
+              (fun () -> Evaluation.stripe_partial ~scenario ~policies ~replicates ~stripe))
+      in
+      Evaluation.table_of_partials (Array.to_list partials)
+
+let floats_format = "ckpt-floats/1"
+
+let encode_floats arr =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%s %d\n" floats_format (Array.length arr));
+  Array.iter (fun x -> Buffer.add_string buf (hex x ^ "\n")) arr;
+  Buffer.contents buf
+
+let decode_floats payload =
+  match String.split_on_char '\n' payload with
+  | hd :: rest when String.starts_with ~prefix:(floats_format ^ " ") hd -> (
+      let n =
+        int_of_string_opt
+          (String.sub hd (String.length floats_format + 1)
+             (String.length hd - String.length floats_format - 1))
+      in
+      match n with
+      | None -> None
+      | Some n ->
+          let rest = List.filter (fun l -> String.trim l <> "") rest in
+          if List.length rest <> n then None
+          else begin
+            let vals = List.map float_of_string_opt rest in
+            if List.exists Option.is_none vals then None
+            else Some (Array.of_list (List.map Option.get vals))
+          end)
+  | _ -> None
+
+let floats ?store ?(params = []) ~experiment ~scenario ~replicates ~f () =
+  if replicates <= 0 then invalid_arg "Sweep_store.floats: replicates must be positive";
+  let sz = Evaluation.stripe_size () in
+  let stripe_arrays =
+    Domain_pool.parallel_init (Evaluation.stripe_count ~replicates) (fun stripe ->
+        let first = stripe * sz in
+        let len = min sz (replicates - first) in
+        let compute () = Domain_pool.parallel_init len (fun i -> f (first + i)) in
+        match store with
+        | None -> compute ()
+        | Some store ->
+            let fields =
+              fingerprint ~kind:"floats" ~experiment ~scenario ~policy_names:[]
+                ~replicates ~params
+            in
+            let digest = digest_of fields in
+            let path = unit_path store ~experiment ~digest ~stripe in
+            load_or_compute ~path ~digest ~stripe ~fields ~decode:decode_floats
+              ~encode:encode_floats compute)
+  in
+  Array.concat (Array.to_list stripe_arrays)

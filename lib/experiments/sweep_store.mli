@@ -1,0 +1,75 @@
+(** Resumable, content-addressed sweep checkpointing.
+
+    A study is a sweep over (experiment, scenario, replicate-stripe)
+    units.  With a store attached, each unit's merged
+    {!Ckpt_simulator.Evaluation.partial} is persisted under a key that
+    hashes the experiment name, the full scenario parameters, the seed,
+    the policy roster and the stripe layout; written atomically
+    (tempfile + fsync + rename, {!Ckpt_store.Atomic_file}).  Re-running
+    an interrupted study then skips every completed unit and recomputes
+    only the missing ones, and — because tables are always reduced
+    through the same stripe merge tree — produces bit-identical output.
+
+    Invalidation is by construction: any changed parameter changes the
+    key, so stale units are simply never consulted (and two concurrent
+    sweeps with different parameters can share a directory without
+    collision).  A unit file that exists but fails its header or
+    payload check is counted as {e invalidated}, recomputed, and
+    overwritten.
+
+    Point the store at a directory with [CKPT_SWEEP_DIR=<dir>] (or
+    [ckpt sweep --resume <dir>]); without it every entry point below
+    degrades to the plain, storeless computation. *)
+
+type t
+(** A sweep store rooted at a directory. *)
+
+val create : dir:string -> t
+(** Open (creating as needed) the store at [dir].
+    @raise Sys_error when the directory cannot be created. *)
+
+val dir : t -> string
+
+val of_config : Config.t -> t option
+(** The store named by the config's [sweep_dir], if any. *)
+
+type stats = { skipped : int; computed : int; invalidated : int }
+(** Process-wide unit counters since the last {!reset_stats}: units
+    loaded from the store, units computed (and persisted), and unit
+    files found corrupt and recomputed.  Mirrored as telemetry
+    counters [sweep/units_skipped], [sweep/units_computed],
+    [sweep/units_invalidated] when [CKPT_METRICS=1]. *)
+
+val stats : unit -> stats
+val reset_stats : unit -> unit
+
+val degradation_table :
+  ?store:t ->
+  ?params:(string * string) list ->
+  experiment:string ->
+  scenario:Ckpt_simulator.Scenario.t ->
+  policies:Ckpt_policies.Policy.t list ->
+  replicates:int ->
+  unit ->
+  Ckpt_simulator.Evaluation.table
+(** {!Ckpt_simulator.Evaluation.degradation_table}, checkpointed per
+    replicate stripe when [store] is given; bit-identical to the plain
+    call either way.  [experiment] names the study point (distinct
+    sweep points of one study must pass distinct names or [params]);
+    [params] are extra key/value pairs folded into the unit key and
+    recorded in each unit's provenance sidecar. *)
+
+val floats :
+  ?store:t ->
+  ?params:(string * string) list ->
+  experiment:string ->
+  scenario:Ckpt_simulator.Scenario.t ->
+  replicates:int ->
+  f:(int -> float) ->
+  unit ->
+  float array
+(** [Array.init replicates f] evaluated stripe-parallel and, with a
+    [store], checkpointed per stripe — for studies whose unit of work
+    is a per-replicate scalar rather than a policy table (e.g.
+    {!Spares}).  [f] must be a pure function of the replicate index
+    (plus the scenario, which keys the store). *)

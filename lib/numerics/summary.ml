@@ -44,6 +44,27 @@ let max_value t = if t.count = 0 then nan else t.max_v
 
 let of_array a = Array.fold_left add empty a
 
+(* Hexadecimal float notation round-trips every finite and infinite
+   value bit for bit, which is what lets the sweep harness resume with
+   tables identical to an uninterrupted run. *)
+let serialize t =
+  Printf.sprintf "%d %h %h %h %h" t.count t.mean t.m2 t.min_v t.max_v
+
+let deserialize s =
+  match String.split_on_char ' ' (String.trim s) with
+  | [ count; mean; m2; min_v; max_v ] -> (
+      match
+        ( int_of_string_opt count,
+          float_of_string_opt mean,
+          float_of_string_opt m2,
+          float_of_string_opt min_v,
+          float_of_string_opt max_v )
+      with
+      | Some count, Some mean, Some m2, Some min_v, Some max_v when count >= 0 ->
+          Some { count; mean; m2; min_v; max_v }
+      | _ -> None)
+  | _ -> None
+
 let mean_confidence_interval ?(confidence = 0.95) t =
   if confidence <= 0. || confidence >= 1. then
     invalid_arg "Summary.mean_confidence_interval: confidence outside (0, 1)";

@@ -30,6 +30,15 @@ val max_value : t -> float
 
 val of_array : float array -> t
 
+val serialize : t -> string
+(** One line, whitespace-separated, floats in hexadecimal ([%h])
+    notation: {!deserialize} reproduces the accumulator bit for bit
+    (the persistence format of the resumable sweep harness). *)
+
+val deserialize : string -> t option
+(** Inverse of {!serialize}; [None] on malformed input (a torn or
+    corrupted checkpoint must read as "absent", never crash). *)
+
 val mean_confidence_interval : ?confidence:float -> t -> float * float
 (** [(lo, hi)] for the mean at the given [confidence] (default 0.95),
     using the normal approximation [mean ± z * std / sqrt n] —

@@ -281,14 +281,28 @@ module Steal_sched = struct
     Mutex.unlock p.lock;
     List.iter Domain.join spawned
 
-  let pool =
-    lazy
-      (let p = create_pool () in
-       (* Workers idle on the condition variable between regions; wake
-          and join them at exit so the process never tears down under
-          a domain mid-park. *)
-       at_exit (fun () -> shutdown p);
-       p)
+  (* Mutex-guarded memo, not [lazy]: concurrently forcing a lazy from
+     two domains raises [CamlinternalLazy.Undefined], and nothing
+     stops two caller-spawned domains from entering their first
+     region simultaneously. *)
+  let pool_lock = Mutex.create ()
+  let pool_memo = ref None
+
+  let pool () =
+    Mutex.lock pool_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock pool_lock)
+      (fun () ->
+        match !pool_memo with
+        | Some p -> p
+        | None ->
+            let p = create_pool () in
+            (* Workers idle on the condition variable between regions;
+               wake and join them at exit so the process never tears
+               down under a domain mid-park. *)
+            at_exit (fun () -> shutdown p);
+            pool_memo := Some p;
+            p)
 
   (* [Domain.spawn] has a hard runtime cap; leave headroom for the
      main domain and any domains the caller spawned itself. *)
@@ -354,7 +368,7 @@ module Steal_sched = struct
     loop ()
 
   let parallel_init ~domains n f =
-    let p = Lazy.force pool in
+    let p = pool () in
     ensure_workers p (domains - 1);
     let results = Array.make n None in
     let error = Atomic.make None in
@@ -393,7 +407,9 @@ module Steal_sched = struct
     Array.map Option.get results
 
   let pool_workers () =
-    if Lazy.is_val pool then Array.length (Atomic.get (Lazy.force pool).workers) else 0
+    match !pool_memo with
+    | Some p -> Array.length (Atomic.get p.workers)
+    | None -> 0
 end
 
 let pool_workers = Steal_sched.pool_workers

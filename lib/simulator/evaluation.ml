@@ -158,6 +158,198 @@ let run_replicate ~scenario ~policies replicate =
   end;
   { rep_accs; rep_lb; rep_usable }
 
+(* -- replicate stripes -------------------------------------------------------
+
+   Replicates are grouped into contiguous stripes of [stripe_size]
+   (CKPT_SWEEP_STRIPE): the reduction merges replicate outcomes in
+   order within each stripe, then stripe partials in stripe order.
+   This fixed merge tree — independent of domain count, scheduler
+   backend, and of whether a stripe was computed now or loaded from a
+   sweep checkpoint — is what makes a resumed study bit-identical to
+   an uninterrupted one. *)
+
+let default_stripe_size = 16
+
+let stripe_size () =
+  match Sys.getenv_opt "CKPT_SWEEP_STRIPE" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> default_stripe_size)
+  | None -> default_stripe_size
+
+let stripe_count ~replicates =
+  if replicates <= 0 then invalid_arg "Evaluation.stripe_count: replicates must be positive";
+  let sz = stripe_size () in
+  (replicates + sz - 1) / sz
+
+type partial = {
+  p_policies : string array;  (* policy names, input order *)
+  p_accs : accumulator array;
+  p_lb : accumulator;
+  p_usable : int;
+  p_replicates : int;
+}
+
+(* Merge the outcomes of replicates [first, first + len) in replicate
+   order — the canonical within-stripe reduction. *)
+let partial_of_outcomes ~policy_names outcomes ~first ~len =
+  let accs = Array.map (fun _ -> fresh_accumulator ()) policy_names in
+  let lb = fresh_accumulator () in
+  let usable = ref 0 in
+  for i = first to first + len - 1 do
+    let o = outcomes.(i) in
+    if o.rep_usable then incr usable;
+    Array.iteri (fun j rep -> merge_into accs.(j) rep) o.rep_accs;
+    merge_into lb o.rep_lb
+  done;
+  { p_policies = policy_names; p_accs = accs; p_lb = lb; p_usable = !usable; p_replicates = len }
+
+let stripe_partial ~scenario ~policies ~replicates ~stripe =
+  if replicates <= 0 then invalid_arg "Evaluation.stripe_partial: replicates must be positive";
+  if policies = [] then invalid_arg "Evaluation.stripe_partial: no policies";
+  let sz = stripe_size () in
+  let first = stripe * sz in
+  if stripe < 0 || first >= replicates then invalid_arg "Evaluation.stripe_partial: no such stripe";
+  let len = min sz (replicates - first) in
+  let policy_array = Array.of_list policies in
+  let names = Array.map (fun p -> p.Policy.name) policy_array in
+  let outcomes =
+    Domain_pool.parallel_init len (fun i ->
+        run_replicate ~scenario ~policies:policy_array (first + i))
+  in
+  partial_of_outcomes ~policy_names:names outcomes ~first:0 ~len
+
+let table_of_partials partials =
+  match partials with
+  | [] -> invalid_arg "Evaluation.table_of_partials: no partials"
+  | head :: _ ->
+      List.iter
+        (fun p ->
+          if p.p_policies <> head.p_policies then
+            invalid_arg "Evaluation.table_of_partials: mismatched policy rosters")
+        partials;
+      let accs = Array.map (fun _ -> fresh_accumulator ()) head.p_policies in
+      let lb_acc = fresh_accumulator () in
+      let usable = ref 0 in
+      let replicates = ref 0 in
+      List.iter
+        (fun p ->
+          usable := !usable + p.p_usable;
+          replicates := !replicates + p.p_replicates;
+          Array.iteri (fun i a -> merge_into accs.(i) a) p.p_accs;
+          merge_into lb_acc p.p_lb)
+        partials;
+      {
+        lower_bound = result_of_accumulator "LowerBound" lb_acc;
+        results =
+          Array.to_list
+            (Array.mapi (fun i name -> result_of_accumulator name accs.(i)) head.p_policies);
+        replicates = !replicates;
+        usable_replicates = !usable;
+      }
+
+(* -- persistence of partials -------------------------------------------------
+
+   Line-based text, floats in hexadecimal notation via
+   [Summary.serialize], so a reloaded partial is bit-identical to the
+   computed one.  Deserialization answers [None] on any malformed
+   input: a corrupted checkpoint must read as "recompute me". *)
+
+let serialize_accumulator a =
+  Printf.sprintf "%s %s %s %s %d %h %h" (Summary.serialize a.degradation)
+    (Summary.serialize a.makespan) (Summary.serialize a.failures)
+    (Summary.serialize a.chunk_counts) a.worst_failures a.smallest_chunk a.largest_chunk
+
+(* 4 summaries x 5 tokens + worst/smallest/largest. *)
+let accumulator_tokens = 23
+
+let deserialize_accumulator tokens =
+  let ( let* ) = Option.bind in
+  if Array.length tokens <> accumulator_tokens then None
+  else begin
+    let summary i =
+      Summary.deserialize (String.concat " " (Array.to_list (Array.sub tokens i 5)))
+    in
+    let* degradation = summary 0 in
+    let* makespan = summary 5 in
+    let* failures = summary 10 in
+    let* chunk_counts = summary 15 in
+    let* worst_failures = int_of_string_opt tokens.(20) in
+    let* smallest_chunk = float_of_string_opt tokens.(21) in
+    let* largest_chunk = float_of_string_opt tokens.(22) in
+    Some
+      {
+        degradation;
+        makespan;
+        failures;
+        chunk_counts;
+        worst_failures;
+        smallest_chunk;
+        largest_chunk;
+      }
+  end
+
+let partial_format = "ckpt-eval-partial/1"
+
+let serialize_partial p =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf partial_format;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "policies\t%s\n" (String.concat "\t" (Array.to_list p.p_policies)));
+  Buffer.add_string buf (Printf.sprintf "replicates %d\n" p.p_replicates);
+  Buffer.add_string buf (Printf.sprintf "usable %d\n" p.p_usable);
+  Buffer.add_string buf (Printf.sprintf "lb %s\n" (serialize_accumulator p.p_lb));
+  Array.iter
+    (fun a -> Buffer.add_string buf (Printf.sprintf "acc %s\n" (serialize_accumulator a)))
+    p.p_accs;
+  Buffer.contents buf
+
+let deserialize_partial contents =
+  let ( let* ) = Option.bind in
+  let tokens_of line = Array.of_list (String.split_on_char ' ' (String.trim line)) in
+  let acc_of line =
+    deserialize_accumulator (Array.sub (tokens_of line) 1 (max 0 (Array.length (tokens_of line) - 1)))
+  in
+  let int_field prefix line =
+    if String.starts_with ~prefix:(prefix ^ " ") line then
+      int_of_string_opt (String.sub line (String.length prefix + 1)
+                           (String.length line - String.length prefix - 1))
+    else None
+  in
+  match String.split_on_char '\n' contents with
+  | format :: policies :: replicates :: usable :: lb :: accs
+    when format = partial_format && String.starts_with ~prefix:"policies\t" policies ->
+      let names =
+        Array.of_list
+          (String.split_on_char '\t'
+             (String.sub policies 9 (String.length policies - 9)))
+      in
+      let* p_replicates = int_field "replicates" replicates in
+      let* p_usable = int_field "usable" usable in
+      let* p_lb = if String.starts_with ~prefix:"lb " lb then acc_of lb else None in
+      let accs = List.filter (fun l -> String.trim l <> "") accs in
+      if List.length accs <> Array.length names then None
+      else begin
+        let parsed =
+          List.map
+            (fun l -> if String.starts_with ~prefix:"acc " l then acc_of l else None)
+            accs
+        in
+        if List.exists Option.is_none parsed then None
+        else
+          Some
+            {
+              p_policies = names;
+              p_accs = Array.of_list (List.map Option.get parsed);
+              p_lb;
+              p_usable;
+              p_replicates;
+            }
+      end
+  | _ -> None
+
 let degradation_table ~scenario ~policies ~replicates =
   if replicates <= 0 then invalid_arg "Evaluation.degradation_table: replicates must be positive";
   if policies = [] then invalid_arg "Evaluation.degradation_table: no policies";
@@ -187,26 +379,25 @@ let degradation_table ~scenario ~policies ~replicates =
         Option.iter Instrument.step progress;
         o)
   in
-  let accs = Array.map (fun _ -> fresh_accumulator ()) policy_array in
-  let lb_acc = fresh_accumulator () in
-  let usable = ref 0 in
-  Array.iter
-    (fun o ->
-      if o.rep_usable then incr usable;
-      Array.iteri (fun i rep -> merge_into accs.(i) rep) o.rep_accs;
-      merge_into lb_acc o.rep_lb)
-    outcomes;
+  (* Reduce through the same stripe structure the sweep store persists
+     (within-stripe in replicate order, then across stripes in stripe
+     order), so a table assembled from checkpointed stripe partials is
+     bit-identical to this one. *)
+  let names = Array.map (fun p -> p.Policy.name) policy_array in
+  let sz = stripe_size () in
+  let partials =
+    List.init (stripe_count ~replicates) (fun stripe ->
+        let first = stripe * sz in
+        partial_of_outcomes ~policy_names:names outcomes ~first
+          ~len:(min sz (replicates - first)))
+  in
+  let table = table_of_partials partials in
   if owns_timers then begin
     let hits, misses = Scenario.cache_stats scenario in
     Instrument.info "trace cache: %d hits, %d misses" hits misses;
     Instrument.report ~label:"degradation_table" ()
   end;
-  {
-    lower_bound = result_of_accumulator "LowerBound" lb_acc;
-    results = List.mapi (fun i p -> result_of_accumulator p.Policy.name accs.(i)) policies;
-    replicates;
-    usable_replicates = !usable;
-  }
+  table
 
 let average_makespan ~scenario ~policy ~replicates =
   let makespans =

@@ -43,6 +43,55 @@ val degradation_table :
   table
 (** @raise Invalid_argument if [replicates <= 0] or [policies = []]. *)
 
+(** {2 Replicate stripes}
+
+    The reduction above is structured as contiguous {e stripes} of
+    replicates ([CKPT_SWEEP_STRIPE] wide, default 16): replicate
+    outcomes merge in order within each stripe, stripe partials merge
+    in stripe order.  A stripe partial is self-contained — computable
+    independently, serializable bit-exactly — so the resumable sweep
+    harness ({!Ckpt_experiments.Sweep_store}) can persist each stripe
+    as a unit of work and reassemble the table after an interruption,
+    bit-identical to an uninterrupted run. *)
+
+type partial
+(** Merged accumulators of one replicate stripe. *)
+
+val stripe_size : unit -> int
+(** Current stripe width: [CKPT_SWEEP_STRIPE] when set to a positive
+    integer, 16 otherwise. *)
+
+val stripe_count : replicates:int -> int
+(** Number of stripes covering [replicates] at the current width.
+    @raise Invalid_argument if [replicates <= 0]. *)
+
+val stripe_partial :
+  scenario:Scenario.t ->
+  policies:Ckpt_policies.Policy.t list ->
+  replicates:int ->
+  stripe:int ->
+  partial
+(** Evaluate the replicates of stripe [stripe] (indices
+    [stripe * width, min ((stripe + 1) * width, replicates))) and merge
+    them in replicate order.  The fan-out and determinism guarantees of
+    {!degradation_table} apply.
+    @raise Invalid_argument on an out-of-range stripe, [replicates <= 0]
+    or [policies = []]. *)
+
+val table_of_partials : partial list -> table
+(** Merge stripe partials {e in the order given} — pass them in stripe
+    order to reproduce {!degradation_table} bit for bit.
+    @raise Invalid_argument on an empty list or mismatched policy
+    rosters. *)
+
+val serialize_partial : partial -> string
+(** Text encoding (hex floats) that {!deserialize_partial} inverts bit
+    for bit. *)
+
+val deserialize_partial : string -> partial option
+(** [None] on malformed input — a torn or corrupted checkpoint reads as
+    "absent", never crashes and never poisons a table. *)
+
 val average_makespan :
   scenario:Scenario.t -> policy:Ckpt_policies.Policy.t -> replicates:int -> float option
 (** Mean makespan of one policy alone (Appendix D's absolute-makespan

@@ -7,8 +7,19 @@
 
 module Metrics = Ckpt_telemetry.Metrics
 
-let enabled_flag = lazy (Sys.getenv_opt "CKPT_VERBOSE" = Some "1")
-let enabled () = Lazy.force enabled_flag
+(* First call may happen inside a parallel region (replicate progress,
+   stage timers on worker domains), where concurrently forcing a lazy
+   raises; an idempotent atomic memo tolerates the race — the env read
+   is pure, so a duplicate computation is harmless. *)
+let enabled_flag = Atomic.make None
+
+let enabled () =
+  match Atomic.get enabled_flag with
+  | Some b -> b
+  | None ->
+      let b = Sys.getenv_opt "CKPT_VERBOSE" = Some "1" in
+      Atomic.set enabled_flag (Some b);
+      b
 
 (* Timers accumulate whenever either consumer is live. *)
 let active () = enabled () || Metrics.enabled ()
@@ -44,14 +55,20 @@ let reporter () =
   in
   { Logs.report }
 
-let setup_once =
-  lazy
-    (if enabled () then begin
-       if Logs.reporter () == Logs.nop_reporter then Logs.set_reporter (reporter ());
-       Logs.Src.set_level src (Some Logs.Info)
-     end)
+(* Mutex-guarded rather than [lazy]: [setup] can be reached from
+   worker domains, and the reporter installation must run exactly
+   once. *)
+let setup_done = ref false
 
-let setup () = Lazy.force setup_once
+let setup () =
+  locked (fun () ->
+      if not !setup_done then begin
+        setup_done := true;
+        if enabled () then begin
+          if Logs.reporter () == Logs.nop_reporter then Logs.set_reporter (reporter ());
+          Logs.Src.set_level src (Some Logs.Info)
+        end
+      end)
 
 (* -- wall-clock accumulation ---------------------------------------------- *)
 

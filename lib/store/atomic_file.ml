@@ -1,0 +1,86 @@
+(* Atomic artifact writes (tempfile + fsync + rename) and the two
+   directory/cleanup helpers every writer needs next to them.  Kept
+   dependency-free (unix only) so the telemetry, experiments and bench
+   layers can all route their artifacts through one implementation. *)
+
+let mkdir_p path =
+  let rec go path =
+    if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path) then begin
+      go (Filename.dirname path);
+      try Sys.mkdir path 0o755
+      with Sys_error _ as e ->
+        (* A concurrent creator winning the race is fine; anything else
+           (permission denied, a plain file in the way) must surface
+           here rather than as a confusing failure at write time. *)
+        if not (try Sys.is_directory path with Sys_error _ -> false) then raise e
+    end
+  in
+  go path
+
+(* Unique-enough tempfile names: the pid separates processes, the
+   counter separates domains/threads within one, and O_EXCL below
+   catches any collision that survives both. *)
+let temp_counter = Atomic.make 0
+
+let open_temp ~dir ~base =
+  let rec attempt retries =
+    let name =
+      Printf.sprintf ".%s.%d.%d.tmp" base (Unix.getpid ())
+        (Atomic.fetch_and_add temp_counter 1)
+    in
+    let tmp = Filename.concat dir name in
+    match Unix.openfile tmp [ O_WRONLY; O_CREAT; O_EXCL; O_CLOEXEC ] 0o644 with
+    | fd -> (tmp, fd)
+    | exception Unix.Unix_error (EEXIST, _, _) when retries > 0 -> attempt (retries - 1)
+  in
+  attempt 100
+
+(* Make the rename itself durable where the platform allows: fsync the
+   containing directory.  Failure (filesystems that reject fsync on a
+   directory fd) costs durability of the very last write only, never
+   atomicity, so it is not an error. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ O_RDONLY; O_CLOEXEC ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let write ?(fsync = true) ~path contents =
+  let dir = Filename.dirname path in
+  mkdir_p dir;
+  let tmp, fd = open_temp ~dir ~base:(Filename.basename path) in
+  match
+    let oc = Unix.out_channel_of_descr fd in
+    output_string oc contents;
+    flush oc;
+    if fsync then Unix.fsync fd;
+    close_out oc
+  with
+  | () ->
+      (try Sys.rename tmp path
+       with e ->
+         (try Sys.remove tmp with Sys_error _ -> ());
+         raise e);
+      if fsync then fsync_dir dir
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
+
+let remove path =
+  try Unix.unlink path with
+  | Unix.Unix_error (ENOENT, _, _) -> ()
+  | Unix.Unix_error (e, _, _) -> raise (Sys_error (path ^ ": " ^ Unix.error_message e))
+
+let read path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic -> (
+      match
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | contents -> Some contents
+      | exception (Sys_error _ | End_of_file) -> None)

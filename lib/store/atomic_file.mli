@@ -1,0 +1,41 @@
+(** Crash-safe filesystem primitives, shared by every artifact writer
+    in the repository (experiment CSVs, provenance sidecars, bench
+    JSON, sweep checkpoints).
+
+    The contract follows the concurrency invariants of distributed
+    job-safety checklists (see SNIPPETS.md):
+
+    - {e atomic state writes}: a reader of [path] sees either the
+      complete previous contents or the complete new contents, never a
+      torn prefix — enforced by writing a unique tempfile in the same
+      directory, fsyncing it, and [rename]-ing it over [path];
+    - {e idempotent cleanup}: {!remove} on a missing file is a no-op,
+      so two workers cleaning up the same artifact cannot race each
+      other into an error. *)
+
+val mkdir_p : string -> unit
+(** Create [path] and any missing parents (mode [0o755]).  Existing
+    directories — including ones created concurrently between the
+    existence check and the [mkdir] — are not an error.
+    @raise Sys_error when creation genuinely fails (permission denied,
+    a non-directory in the way), instead of deferring the failure to a
+    confusing later write. *)
+
+val write : ?fsync:bool -> path:string -> string -> unit
+(** [write ~path contents] atomically replaces [path] with [contents]:
+    parent directories are created as needed, the bytes go to a unique
+    tempfile beside [path], the tempfile is fsynced ([fsync] defaults
+    to [true]; pass [false] only where durability does not matter,
+    e.g. tests), and the tempfile is renamed over [path].  Concurrent
+    writers each rename a complete file, so the loser of the race is
+    overwritten whole, never interleaved.  On any failure the tempfile
+    is removed and the exception re-raised; [path] keeps its previous
+    contents. *)
+
+val remove : string -> unit
+(** Idempotent unlink: removing a file that does not exist is a no-op
+    (other failures — e.g. permission denied — still raise). *)
+
+val read : string -> string option
+(** The whole contents of [path], or [None] when the file is absent or
+    unreadable. *)

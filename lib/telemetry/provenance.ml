@@ -11,16 +11,32 @@
 let json_escape = Trace_export.json_escape
 
 (* The git revision is a process-constant: one subprocess per process,
-   on first use. *)
-let git_describe =
-  lazy
-    (try
-       let ic = Unix.open_process_in "git describe --always --dirty --tags 2>/dev/null" in
-       let line = try input_line ic with End_of_file -> "" in
-       match Unix.close_process_in ic with
-       | Unix.WEXITED 0 when line <> "" -> line
-       | _ -> "unknown"
-     with _ -> "unknown")
+   on first use.  Memoized behind a mutex rather than [lazy]: sidecars
+   are written from inside parallel regions (sweep-store units), and
+   concurrently forcing a lazy from several domains raises
+   [CamlinternalLazy.Undefined]. *)
+let git_lock = Mutex.create ()
+let git_memo = ref None
+
+let git_describe () =
+  Mutex.lock git_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock git_lock)
+    (fun () ->
+      match !git_memo with
+      | Some rev -> rev
+      | None ->
+          let rev =
+            try
+              let ic = Unix.open_process_in "git describe --always --dirty --tags 2>/dev/null" in
+              let line = try input_line ic with End_of_file -> "" in
+              match Unix.close_process_in ic with
+              | Unix.WEXITED 0 when line <> "" -> line
+              | _ -> "unknown"
+            with _ -> "unknown"
+          in
+          git_memo := Some rev;
+          rev)
 
 let ckpt_environment () =
   Unix.environment () |> Array.to_list
@@ -49,7 +65,7 @@ let manifest ?(extra = []) () =
   Buffer.add_string buf "{\n";
   field "schema" (quote "ckpt-provenance/1");
   field "generated_at_unix" (Printf.sprintf "%.0f" (Unix.time ()));
-  field "git" (quote (Lazy.force git_describe));
+  field "git" (quote (git_describe ()));
   field "command" (quote (String.concat " " (Array.to_list Sys.argv)));
   field "ocaml" (quote Sys.ocaml_version);
   field "domains" (string_of_int (domain_count ()));
@@ -68,9 +84,8 @@ let manifest ?(extra = []) () =
 let sidecar_path path = path ^ ".meta.json"
 
 let write_sidecar ?extra ~path () =
-  try
-    let oc = open_out (sidecar_path path) in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () -> output_string oc (manifest ?extra ()))
-  with Sys_error _ -> ()
+  (* Atomic, so a sidecar is never seen half-written next to a
+     complete artifact; still best-effort — a sidecar must never turn
+     a successful run into a failed one. *)
+  try Ckpt_store.Atomic_file.write ~path:(sidecar_path path) (manifest ?extra ())
+  with Sys_error _ | Unix.Unix_error _ -> ()

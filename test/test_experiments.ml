@@ -35,11 +35,11 @@ let test_config_env () =
       check Alcotest.int64 "seed" 99L c.Config.seed)
 
 let test_config_scale () =
-  let explicit = { Config.replicates = 12; full = false; seed = 0L } in
+  let explicit = { Config.replicates = 12; full = false; seed = 0L; sweep_dir = None } in
   check Alcotest.int "explicit wins" 12 (Config.scale explicit ~quick:4 ~full:600);
-  let quick = { Config.replicates = 0; full = false; seed = 0L } in
+  let quick = { Config.replicates = 0; full = false; seed = 0L; sweep_dir = None } in
   check Alcotest.int "quick default" 4 (Config.scale quick ~quick:4 ~full:600);
-  let full = { Config.replicates = 0; full = true; seed = 0L } in
+  let full = { Config.replicates = 0; full = true; seed = 0L; sweep_dir = None } in
   check Alcotest.int "full default" 600 (Config.scale full ~quick:4 ~full:600)
 
 (* -- report -------------------------------------------------------------------- *)
@@ -175,7 +175,7 @@ let test_fig1_shape_one_equalizes () =
 
 (* -- miniature scaling study --------------------------------------------------------- *)
 
-let mini_config = { Config.replicates = 3; full = false; seed = 0x5EEDL }
+let mini_config = { Config.replicates = 3; full = false; seed = 0x5EEDL; sweep_dir = None }
 
 let mini_preset =
   {
@@ -243,7 +243,7 @@ let test_headline_claim_dpnf_wins_on_weibull () =
      periodic heuristics fall well behind DPNextFailure — the paper's
      central result, asserted here at a reduced but unambiguous scale
      (the gap at k = 0.5 is ~10%, far beyond run-to-run noise). *)
-  let config = { Config.replicates = 4; full = false; seed = 0x5EEDL } in
+  let config = { Config.replicates = 4; full = false; seed = 0x5EEDL; sweep_dir = None } in
   let preset = P.Presets.petascale () in
   let dist = Setup.distribution (Setup.Weibull 0.5) ~mtbf:preset.P.Presets.processor_mtbf in
   let scenario =

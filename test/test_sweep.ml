@@ -1,0 +1,291 @@
+(* Resumable sweep harness: atomic file primitives, bit-exact
+   serialization, and the resume/invalidation semantics of the
+   content-addressed store. *)
+
+module Atomic_file = Ckpt_store.Atomic_file
+module Summary = Ckpt_numerics.Summary
+module Scenario = Ckpt_simulator.Scenario
+module Evaluation = Ckpt_simulator.Evaluation
+module Job = Ckpt_policies.Job
+module Machine = Ckpt_platform.Machine
+module Overhead = Ckpt_platform.Overhead
+module Exponential = Ckpt_distributions.Exponential
+module Sweep_store = Ckpt_experiments.Sweep_store
+
+let check = Alcotest.check
+
+(* Structural equality via [compare], which unlike [=] treats equal
+   NaNs as equal (std over a single success is NaN). *)
+let same_table msg a b =
+  Alcotest.(check bool) msg true (compare a b = 0)
+
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ckpt_sweep_test_%d_%d" (Unix.getpid ()) !dir_counter)
+  in
+  Atomic_file.mkdir_p d;
+  d
+
+let with_env key value f =
+  let previous = Sys.getenv_opt key in
+  Unix.putenv key value;
+  Fun.protect f ~finally:(fun () ->
+      Unix.putenv key (match previous with Some v -> v | None -> ""))
+
+(* -- Atomic_file ------------------------------------------------------------- *)
+
+let test_mkdir_p () =
+  let root = fresh_dir () in
+  let nested = Filename.concat (Filename.concat root "a/b") "c" in
+  Atomic_file.mkdir_p nested;
+  Alcotest.(check bool) "nested path exists" true (Sys.is_directory nested);
+  (* Idempotent on an existing directory. *)
+  Atomic_file.mkdir_p nested;
+  Alcotest.(check bool) "still a directory" true (Sys.is_directory nested)
+
+let test_atomic_write () =
+  let root = fresh_dir () in
+  let path = Filename.concat root "sub/dir/artifact.csv" in
+  Atomic_file.write ~path "first\n";
+  check Alcotest.(option string) "contents" (Some "first\n") (Atomic_file.read path);
+  Atomic_file.write ~path "second\n";
+  check Alcotest.(option string) "overwritten whole" (Some "second\n") (Atomic_file.read path);
+  let leftovers =
+    Sys.readdir (Filename.dirname path)
+    |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".tmp")
+  in
+  check Alcotest.(list string) "no tempfile left behind" [] leftovers
+
+let test_remove_idempotent () =
+  let root = fresh_dir () in
+  let path = Filename.concat root "victim" in
+  Atomic_file.write ~path "x";
+  Atomic_file.remove path;
+  Alcotest.(check bool) "gone" false (Sys.file_exists path);
+  (* INV-2: removing a missing file is a no-op, not an error. *)
+  Atomic_file.remove path;
+  Atomic_file.remove path;
+  check Alcotest.(option string) "read of missing file" None (Atomic_file.read path)
+
+(* -- Summary serialization --------------------------------------------------- *)
+
+let test_summary_roundtrip () =
+  let exact s =
+    match Summary.deserialize (Summary.serialize s) with
+    | None -> Alcotest.fail "deserialize failed"
+    | Some s' -> Alcotest.(check bool) "bit-identical summary" true (compare s s' = 0)
+  in
+  exact Summary.empty;
+  exact (Summary.add Summary.empty 1.5);
+  exact (Summary.of_array [| 0.1; -3.75e-300; 7.25e300; 1e-9 |]);
+  exact (Summary.add (Summary.add Summary.empty infinity) neg_infinity);
+  check Alcotest.(option reject) "garbage rejected" None
+    (Option.map ignore (Summary.deserialize "1 2 3"));
+  check Alcotest.(option reject) "negative count rejected" None
+    (Option.map ignore (Summary.deserialize "-1 0x1p0 0x1p0 0x1p0 0x1p0"))
+
+let prop_summary_roundtrip =
+  QCheck2.Test.make ~name:"summary serialize/deserialize is bit-exact" ~count:300
+    QCheck2.Gen.(list_size (int_range 0 30) (float_range (-1e9) 1e9))
+    (fun xs ->
+      let s = Summary.add_all Summary.empty xs in
+      match Summary.deserialize (Summary.serialize s) with
+      | None -> false
+      | Some s' -> compare s s' = 0)
+
+(* -- stripe partials --------------------------------------------------------- *)
+
+let eval_scenario ?(seed = 0x5EEDL) () =
+  Scenario.create ~seed ~horizon:1e7 ~start_time:0.
+    (Job.create
+       ~dist:(Exponential.of_mtbf ~mtbf:4000.)
+       ~processors:1
+       ~machine:
+         (Machine.create ~total_processors:1 ~downtime:50. ~overhead:(Overhead.constant 100.))
+       ~work_time:20_000.)
+
+let policies job = [ Ckpt_policies.Young.policy job; Ckpt_policies.Optexp.policy job ]
+
+let test_partial_roundtrip () =
+  with_env "CKPT_SWEEP_STRIPE" "2" (fun () ->
+      let scenario = eval_scenario () in
+      let policies = policies scenario.Scenario.job in
+      let replicates = 6 in
+      check Alcotest.int "stripe count" 3 (Evaluation.stripe_count ~replicates);
+      let partials =
+        List.init 3 (fun stripe ->
+            let p = Evaluation.stripe_partial ~scenario ~policies ~replicates ~stripe in
+            match Evaluation.deserialize_partial (Evaluation.serialize_partial p) with
+            | None -> Alcotest.fail "partial did not round-trip"
+            | Some p' -> p')
+      in
+      same_table "table from reloaded partials == plain table"
+        (Evaluation.degradation_table ~scenario ~policies ~replicates)
+        (Evaluation.table_of_partials partials);
+      check Alcotest.(option reject) "corrupt partial rejected" None
+        (Option.map ignore (Evaluation.deserialize_partial "ckpt-eval-partial/1\ngarbage")))
+
+(* -- store resume semantics -------------------------------------------------- *)
+
+let unit_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".part")
+  |> List.sort compare
+
+let run_store ?(seed = 0x5EEDL) ~dir ~replicates () =
+  let scenario = eval_scenario ~seed () in
+  let policies = policies scenario.Scenario.job in
+  Sweep_store.degradation_table
+    ~store:(Sweep_store.create ~dir)
+    ~experiment:"unit_test" ~scenario ~policies ~replicates ()
+
+let stats_since f =
+  Sweep_store.reset_stats ();
+  let v = f () in
+  (v, Sweep_store.stats ())
+
+let test_resume_bit_identical () =
+  with_env "CKPT_SWEEP_STRIPE" "2" (fun () ->
+      let dir = fresh_dir () in
+      let replicates = 6 in
+      let scenario = eval_scenario () in
+      let plain =
+        Evaluation.degradation_table ~scenario
+          ~policies:(policies scenario.Scenario.job)
+          ~replicates
+      in
+      let fresh, s1 = stats_since (fun () -> run_store ~dir ~replicates ()) in
+      (* Structural [=]: these tables carry no NaN (>= 2 usable
+         replicates), so bit-identity is checked at full strength. *)
+      Alcotest.(check bool) "store table == plain table, bit for bit" true (plain = fresh);
+      check Alcotest.int "all units computed" 3 s1.Sweep_store.computed;
+      check Alcotest.int "units on disk" 3 (List.length (unit_files dir));
+      let resumed, s2 = stats_since (fun () -> run_store ~dir ~replicates ()) in
+      Alcotest.(check bool) "resumed == fresh" true (fresh = resumed);
+      check Alcotest.int "all units skipped" 3 s2.Sweep_store.skipped;
+      check Alcotest.int "nothing recomputed" 0 s2.Sweep_store.computed;
+      (* Kill-mid-sweep stand-in: lose one unit, resume. *)
+      (match unit_files dir with
+      | first :: _ -> Atomic_file.remove (Filename.concat dir first)
+      | [] -> Alcotest.fail "no unit files");
+      let recovered, s3 = stats_since (fun () -> run_store ~dir ~replicates ()) in
+      Alcotest.(check bool) "recovered == fresh" true (fresh = recovered);
+      check Alcotest.int "only the lost unit recomputed" 1 s3.Sweep_store.computed;
+      check Alcotest.int "the others skipped" 2 s3.Sweep_store.skipped)
+
+let test_invalidation_on_corruption () =
+  with_env "CKPT_SWEEP_STRIPE" "2" (fun () ->
+      let dir = fresh_dir () in
+      let fresh, _ = stats_since (fun () -> run_store ~dir ~replicates:6 ()) in
+      (match unit_files dir with
+      | first :: _ ->
+          Atomic_file.write ~path:(Filename.concat dir first) "ckpt-sweep/1 bogus stripe=0\nx"
+      | [] -> Alcotest.fail "no unit files");
+      let recovered, s = stats_since (fun () -> run_store ~dir ~replicates:6 ()) in
+      Alcotest.(check bool) "corruption recomputed to the same table" true (fresh = recovered);
+      check Alcotest.int "one unit invalidated" 1 s.Sweep_store.invalidated;
+      check Alcotest.int "one unit recomputed" 1 s.Sweep_store.computed;
+      check Alcotest.int "the others skipped" 2 s.Sweep_store.skipped)
+
+let test_changed_params_invalidate () =
+  with_env "CKPT_SWEEP_STRIPE" "2" (fun () ->
+      let dir = fresh_dir () in
+      let t1, _ = stats_since (fun () -> run_store ~dir ~replicates:6 ()) in
+      let files1 = unit_files dir in
+      (* A different seed must hash to different unit keys: nothing is
+         reused, nothing is overwritten (snippet INV-1 — concurrent
+         sweeps with different parameters never collide). *)
+      let t2, s = stats_since (fun () -> run_store ~seed:7L ~dir ~replicates:6 ()) in
+      check Alcotest.int "nothing skipped under a new seed" 0 s.Sweep_store.skipped;
+      check Alcotest.int "all units computed afresh" 3 s.Sweep_store.computed;
+      let files2 = unit_files dir in
+      check Alcotest.int "both sweeps' units coexist" 6 (List.length files2);
+      List.iter
+        (fun f -> Alcotest.(check bool) ("kept " ^ f) true (List.mem f files2))
+        files1;
+      Alcotest.(check bool) "different seeds give different tables" false (compare t1 t2 = 0);
+      (* And the original sweep still resumes entirely from its own units. *)
+      let t1', s' = stats_since (fun () -> run_store ~dir ~replicates:6 ()) in
+      Alcotest.(check bool) "no cross-seed contamination" true (t1 = t1');
+      check Alcotest.int "original fully skipped" 3 s'.Sweep_store.skipped)
+
+let test_stripe_size_changes_keys () =
+  let dir = fresh_dir () in
+  with_env "CKPT_SWEEP_STRIPE" "2" (fun () ->
+      ignore (run_store ~dir ~replicates:6 ()));
+  let files2 = unit_files dir in
+  (* The stripe layout participates in the key: units merged at one
+     width must never be reused at another (the merge tree differs). *)
+  with_env "CKPT_SWEEP_STRIPE" "3" (fun () ->
+      let _, s = stats_since (fun () -> run_store ~dir ~replicates:6 ()) in
+      check Alcotest.int "no stripe-2 unit reused at width 3" 0 s.Sweep_store.skipped);
+  List.iter
+    (fun f -> Alcotest.(check bool) ("kept " ^ f) true (List.mem f (unit_files dir)))
+    files2
+
+let prop_prefix_resume =
+  (* Any subset of completed units + resume == a fresh run: delete a
+     random subset of the 3 unit files and re-run. *)
+  QCheck2.Test.make ~name:"any completed-unit prefix resumes to the fresh table" ~count:8
+    QCheck2.Gen.(int_range 0 7)
+    (fun mask ->
+      with_env "CKPT_SWEEP_STRIPE" "2" (fun () ->
+          let dir = fresh_dir () in
+          let fresh = run_store ~dir ~replicates:6 () in
+          List.iteri
+            (fun i f -> if mask land (1 lsl i) <> 0 then Atomic_file.remove (Filename.concat dir f))
+            (unit_files dir);
+          let resumed = run_store ~dir ~replicates:6 () in
+          fresh = resumed))
+
+let test_floats_resume () =
+  with_env "CKPT_SWEEP_STRIPE" "2" (fun () ->
+      let dir = fresh_dir () in
+      let scenario = eval_scenario () in
+      let f replicate = Float.of_int replicate *. 1.5 in
+      let run () =
+        Sweep_store.floats
+          ~store:(Sweep_store.create ~dir)
+          ~experiment:"floats_test" ~scenario ~replicates:5 ~f ()
+      in
+      let fresh, s1 = stats_since run in
+      check
+        Alcotest.(array (float 0.))
+        "floats == Array.init replicates f" (Array.init 5 f) fresh;
+      check Alcotest.int "three stripes computed" 3 s1.Sweep_store.computed;
+      let resumed, s2 = stats_since run in
+      check Alcotest.(array (float 0.)) "resumed floats identical" fresh resumed;
+      check Alcotest.int "all stripes skipped" 3 s2.Sweep_store.skipped;
+      check Alcotest.int "nothing recomputed" 0 s2.Sweep_store.computed)
+
+let () =
+  Alcotest.run "sweep"
+    [
+      ( "atomic_file",
+        [
+          Alcotest.test_case "mkdir_p" `Quick test_mkdir_p;
+          Alcotest.test_case "atomic write" `Quick test_atomic_write;
+          Alcotest.test_case "idempotent remove" `Quick test_remove_idempotent;
+        ] );
+      ( "serialization",
+        [
+          Alcotest.test_case "summary round-trip" `Quick test_summary_roundtrip;
+          Alcotest.test_case "partial round-trip" `Quick test_partial_roundtrip;
+          QCheck_alcotest.to_alcotest prop_summary_roundtrip;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "resume is bit-identical" `Quick test_resume_bit_identical;
+          Alcotest.test_case "corruption invalidates" `Quick test_invalidation_on_corruption;
+          Alcotest.test_case "changed params change keys" `Quick test_changed_params_invalidate;
+          Alcotest.test_case "stripe width changes keys" `Quick test_stripe_size_changes_keys;
+          QCheck_alcotest.to_alcotest prop_prefix_resume;
+          Alcotest.test_case "floats resume" `Quick test_floats_resume;
+        ] );
+    ]
