@@ -326,34 +326,17 @@ let timed_eval_table ~domains =
       in
       (table, Unix.gettimeofday () -. t0))
 
-(* The committed BENCH_eval.json is the previous PR's throughput: a
-   crude single-field scan is enough to recover one number from it. *)
+(* The committed BENCH_*.json artifacts carry the previous PR's
+   numbers; recover one top-level field through the real JSON parser
+   (the old substring scan broke on any field whose name was a suffix
+   of another). *)
 let previous_json_field ~path ~field =
-  try
-    let ic = open_in path in
-    let contents =
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    in
-    let needle = Printf.sprintf "\"%s\":" field in
-    let rec find i =
-      if i + String.length needle > String.length contents then None
-      else if String.sub contents i (String.length needle) = needle then
-        Some (i + String.length needle)
-      else find (i + 1)
-    in
-    match find 0 with
-    | None -> None
-    | Some start ->
-        let stop = ref start in
-        while
-          !stop < String.length contents && not (String.contains ",}\n" contents.[!stop])
-        do
-          incr stop
-        done;
-        float_of_string_opt (String.trim (String.sub contents start (!stop - start)))
-  with Sys_error _ | End_of_file -> None
+  match Ckpt_store.Atomic_file.read path with
+  | None -> None
+  | Some contents -> (
+      match T.Json.parse contents with
+      | Error _ -> None
+      | Ok j -> Option.bind (T.Json.member j field) T.Json.to_float)
 
 let write_bench_json ~path ~meta contents =
   Ckpt_store.Atomic_file.write ~path contents;
@@ -770,6 +753,10 @@ let run_sched_bench () =
        physical_cores curve_json best_nested_speedup target_verifiable)
 
 let () =
+  (* Long bench runs are natural sampler customers: with
+     CKPT_METRICS_INTERVAL set the trajectory of every stage lands in
+     the JSONL series; a no-op otherwise. *)
+  T.Metrics_export.ensure_sampler ();
   let skip name = Sys.getenv_opt name = Some "1" in
   let baselines = solver_baselines () in
   if not (skip "CKPT_SKIP_EXPERIMENTS") then run_experiments ();

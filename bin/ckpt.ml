@@ -11,7 +11,10 @@
      trace-stats  generate traces and report their empirical statistics
      gen-log      write a synthetic LANL-style availability log
      fit-log      MLE-fit lifetime models to an availability log
-     experiment   regenerate a paper table/figure by id *)
+     experiment   regenerate a paper table/figure by id
+     sweep        run experiments against a resumable checkpoint store
+     sched-report per-worker utilization breakdown of the steal scheduler
+     bench        diff/check BENCH_*.json artifacts (regression tooling) *)
 
 open Cmdliner
 module D = Ckpt_distributions
@@ -415,6 +418,210 @@ let stats_cmd =
           counter, timer and histogram.")
     term
 
+(* -- sched-report ------------------------------------------------------------ *)
+
+(* Run a stage-6-shaped nested workload under the steal scheduler with
+   the flight recorder armed, then break each worker's wall time down
+   by state.  This is the triage tool for ROADMAP open item 5: the
+   dominant-overhead line names which of the three candidate causes
+   (failed steals, parking churn, injector contention) actually costs
+   time on this machine. *)
+let sched_report_cmd =
+  let configs_arg =
+    let doc =
+      "Processor counts, one nested evaluation per entry (the skew mirrors bench stage 6)."
+    in
+    Arg.(
+      value
+      & opt (list int) [ 512; 512; 1024; 1024; 2048; 4096 ]
+      & info [ "configs" ] ~docv:"P,P,..." ~doc)
+  in
+  let replicates_arg =
+    Arg.(value & opt int 16 & info [ "traces" ] ~docv:"N" ~doc:"Replicates per configuration.")
+  in
+  let out_arg =
+    let doc = "Also export the recording as a Chrome trace_event file (chrome://tracing)." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"PATH" ~doc)
+  in
+  let run configs replicates out =
+    if configs = [] then begin
+      prerr_endline "ckpt sched-report: empty --configs";
+      exit 2
+    end;
+    (* The recorder instruments the steal backend only, and the steal
+       backend only engages with >= 2 domains — on a 1-core host the
+       report still has to show scheduler behavior, not the inline
+       fallback. *)
+    Unix.putenv "CKPT_SCHED" "steal";
+    T.Flight_recorder.set_enabled true;
+    let domains = max 2 (Ckpt_parallel.Domain_pool.recommended_domains ()) in
+    Unix.putenv "CKPT_DOMAINS" (string_of_int domains);
+    let weibull = D.Weibull.of_mtbf ~mtbf:(P.Units.of_years 125.) ~shape:0.7 in
+    let mini_job p =
+      Po.Job.create ~dist:weibull ~processors:p
+        ~machine:
+          (P.Machine.create ~total_processors:p ~downtime:60.
+             ~overhead:(P.Overhead.constant 600.))
+        ~work_time:(P.Units.of_years 1000. /. float_of_int p)
+    in
+    let t0 = Unix.gettimeofday () in
+    let tables =
+      Ckpt_parallel.Domain_pool.parallel_map_list
+        (fun p ->
+          let job = mini_job p in
+          let scenario = S.Scenario.create job in
+          let policies = [ Po.Young.policy job; Po.Daly.high job; Po.Optexp.policy job ] in
+          S.Evaluation.degradation_table ~scenario ~policies ~replicates)
+        configs
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    Printf.printf "sched-report: %d configurations x %d replicates x 3 policies, %d domains, %.2f s wall\n\n"
+      (List.length tables) replicates domains wall;
+    let reports =
+      List.filter (fun r -> r.T.Flight_recorder.wr_wall > 0.) (T.Flight_recorder.report ())
+    in
+    if reports = [] then begin
+      prerr_endline "ckpt sched-report: no spans recorded (workload too small?)";
+      exit 1
+    end;
+    let pct r s = 100. *. T.Flight_recorder.state_seconds r s /. r.T.Flight_recorder.wr_wall in
+    Printf.printf "%-11s %8s %6s %6s %6s %6s %6s %7s %12s\n" "worker" "wall s" "run%" "help%"
+      "steal%" "fail%" "park%" "inject%" "attributed%";
+    let min_attr = ref infinity in
+    List.iter
+      (fun r ->
+        let attr = 100. *. r.T.Flight_recorder.wr_attributed /. r.T.Flight_recorder.wr_wall in
+        min_attr := Float.min !min_attr attr;
+        Printf.printf "%-11s %8.3f %6.1f %6.1f %6.1f %6.1f %6.1f %7.1f %12.1f%s\n"
+          r.T.Flight_recorder.wr_name r.T.Flight_recorder.wr_wall
+          (pct r T.Flight_recorder.Run_task)
+          (pct r T.Flight_recorder.Join_help)
+          (pct r T.Flight_recorder.Steal_success)
+          (pct r T.Flight_recorder.Steal_attempt)
+          (pct r T.Flight_recorder.Park)
+          (pct r T.Flight_recorder.Inject)
+          attr
+          (if r.T.Flight_recorder.wr_dropped > 0 then
+             Printf.sprintf "  (%d spans dropped)" r.T.Flight_recorder.wr_dropped
+           else ""))
+      reports;
+    (match T.Flight_recorder.overheads reports with
+    | dominant :: rest ->
+        Printf.printf "\ndominant overhead: %s (%.3f s across %d workers%s)\n"
+          dominant.T.Flight_recorder.ov_label dominant.T.Flight_recorder.ov_seconds
+          (List.length reports)
+          (String.concat ""
+             (List.map
+                (fun o ->
+                  Printf.sprintf "; %s %.3f s" o.T.Flight_recorder.ov_label
+                    o.T.Flight_recorder.ov_seconds)
+                rest))
+    | [] -> ());
+    Printf.printf "min attribution: %.1f%% (target >= 95%%)\n" !min_attr;
+    match out with
+    | Some path ->
+        T.Trace_export.write_flight ~path (T.Flight_recorder.tracks ());
+        Printf.printf "wrote %s\n%!" path
+    | None -> ()
+  in
+  let term = Term.(const run $ configs_arg $ replicates_arg $ out_arg) in
+  Cmd.v
+    (Cmd.info "sched-report"
+       ~doc:
+         "Run a nested evaluation workload with the scheduler flight recorder armed and print \
+          a per-worker busy/steal/idle utilization breakdown naming the dominant overhead.")
+    term
+
+(* -- bench diff / bench check ------------------------------------------------ *)
+
+let bench_diff_cmd =
+  let old_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD.json") in
+  let new_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW.json") in
+  let threshold_arg =
+    let doc =
+      "Override every per-metric threshold (relative percent for rates/times, percentage \
+       points for *_percent metrics)."
+    in
+    Arg.(value & opt (some float) None & info [ "threshold" ] ~docv:"PCT" ~doc)
+  in
+  let run old_path new_path threshold =
+    match T.Bench_compare.diff ?threshold ~old_path ~new_path () with
+    | Error msg ->
+        Printf.eprintf "ckpt bench diff: %s\n" msg;
+        exit T.Bench_compare.exit_error
+    | Ok v ->
+        (* Machine-readable verdict on stdout, human summary on stderr. *)
+        print_endline (T.Json.to_string ~pretty:true (T.Bench_compare.verdict_json v));
+        List.iter
+          (fun m -> Printf.eprintf "incomparable: %s\n" m)
+          v.T.Bench_compare.v_config_mismatches;
+        List.iter
+          (fun c ->
+            if c.T.Bench_compare.c_regressed || c.T.Bench_compare.c_improved then
+              Printf.eprintf "%s %s: %g -> %g (%+.1f%s, threshold %g)\n"
+                (if c.T.Bench_compare.c_regressed then "REGRESSION" else "improvement")
+                c.T.Bench_compare.c_metric c.T.Bench_compare.c_old c.T.Bench_compare.c_new
+                c.T.Bench_compare.c_delta
+                (match c.T.Bench_compare.c_direction with
+                | T.Bench_compare.Lower_better_pp -> "pp"
+                | _ -> "%")
+                c.T.Bench_compare.c_threshold)
+          v.T.Bench_compare.v_comparisons;
+        exit (T.Bench_compare.exit_code v)
+  in
+  let term = Term.(const run $ old_arg $ new_arg $ threshold_arg) in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two BENCH_*.json artifacts provenance-aware: per-metric thresholds, \
+          machine-readable verdict on stdout, nonzero exit on regression, distinct exit \
+          code (3) when the sidecars disagree on core count or scheduler backend.")
+    term
+
+let bench_check_cmd =
+  let dir_arg =
+    Arg.(value & pos 0 string "." & info [] ~docv:"DIR" ~doc:"Directory holding BENCH_*.json.")
+  in
+  let run dir =
+    let results = T.Bench_compare.check ~dir in
+    if results = [] then begin
+      Printf.eprintf "ckpt bench check: no BENCH_*.json under %s\n" dir;
+      exit T.Bench_compare.exit_error
+    end;
+    let failed = ref false in
+    List.iter
+      (fun (path, problems) ->
+        match problems with
+        | [] -> (
+            (* A clean artifact must also survive self-comparison. *)
+            match T.Bench_compare.diff ~old_path:path ~new_path:path () with
+            | Ok v when T.Bench_compare.exit_code v = 0 -> Printf.printf "ok  %s\n" path
+            | Ok v ->
+                failed := true;
+                Printf.printf "BAD %s: self-diff exit %d\n" path (T.Bench_compare.exit_code v)
+            | Error msg ->
+                failed := true;
+                Printf.printf "BAD %s: self-diff failed: %s\n" path msg)
+        | problems ->
+            failed := true;
+            List.iter (fun p -> Printf.printf "BAD %s\n" p) problems)
+      results;
+    exit (if !failed then T.Bench_compare.exit_regression else 0)
+  in
+  let term = Term.(const run $ dir_arg) in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Validate every BENCH_*.json in a directory: parseable, named bench, provenance \
+          sidecar present, and self-comparison clean.")
+    term
+
+let bench_cmd =
+  Cmd.group
+    (Cmd.info "bench"
+       ~doc:"Bench-trajectory tooling: diff two artifacts, or sanity-check a directory.")
+    [ bench_diff_cmd; bench_check_cmd ]
+
 (* -- experiment ------------------------------------------------------------ *)
 
 let experiment_cmd =
@@ -511,6 +718,10 @@ let sweep_cmd =
     term
 
 let () =
+  (* Arm the periodic metrics sampler / exit-time exposition when
+     CKPT_METRICS_INTERVAL or CKPT_METRICS_OUT asks for it; a no-op
+     otherwise. *)
+  T.Metrics_export.ensure_sampler ();
   let doc = "Checkpointing strategies for parallel jobs (Bougeret et al., SC'11 reproduction)" in
   let info = Cmd.info "ckpt" ~version:"1.0.0" ~doc in
   exit
@@ -519,4 +730,5 @@ let () =
           [
             period_cmd; simulate_cmd; schedule_cmd; mtbf_cmd; waste_cmd; trace_cmd; stats_cmd;
             trace_stats_cmd; gen_log_cmd; fit_log_cmd; experiment_cmd; sweep_cmd;
+            sched_report_cmd; bench_cmd;
           ]))

@@ -100,9 +100,13 @@ end
 (** Execution tracing, metrics and provenance manifests. *)
 module Telemetry = struct
   module Metrics = Ckpt_telemetry.Metrics
+  module Metrics_export = Ckpt_telemetry.Metrics_export
   module Tracer = Ckpt_telemetry.Tracer
   module Trace_export = Ckpt_telemetry.Trace_export
+  module Flight_recorder = Ckpt_telemetry.Flight_recorder
   module Provenance = Ckpt_telemetry.Provenance
+  module Json = Ckpt_telemetry.Json
+  module Bench_compare = Ckpt_telemetry.Bench_compare
 end
 
 (** Discrete-event simulation and evaluation. *)

@@ -1,4 +1,6 @@
 module Metrics = Ckpt_telemetry.Metrics
+module FR = Ckpt_telemetry.Flight_recorder
+module Trace_export = Ckpt_telemetry.Trace_export
 
 let tasks_run = Metrics.counter "domain_pool/tasks"
 let inline_sweeps = Metrics.counter "domain_pool/inline_sweeps"
@@ -140,8 +142,35 @@ module Steal_sched = struct
   type worker = {
     deque : region Deque.t;
     tasks : Metrics.counter;
+    id : int;
     mutable cursor : int;  (* round-robin steal victim, owner-private *)
+    mutable rec_track : FR.track option;  (* flight-recorder track, owner-private *)
   }
+
+  (* Flight-recorder tracks are allocated lazily so a disabled
+     recorder costs neither the ring arrays nor the registry entry.
+     Each track is written only by its owning domain ([rec_track] is
+     owner-private; external domains go through DLS). *)
+  let worker_track w =
+    match w.rec_track with
+    | Some t -> t
+    | None ->
+        let t = FR.track (Printf.sprintf "worker%d" w.id) in
+        w.rec_track <- Some t;
+        t
+
+  let external_seq = Atomic.make 0
+  let external_track_key = Domain.DLS.new_key (fun () -> None)
+
+  let external_track () =
+    match Domain.DLS.get external_track_key with
+    | Some t -> t
+    | None ->
+        let t = FR.track (Printf.sprintf "external%d" (Atomic.fetch_and_add external_seq 1)) in
+        Domain.DLS.set external_track_key (Some t);
+        t
+
+  let current_track self = match self with Some w -> worker_track w | None -> external_track ()
 
   type pool = {
     workers : worker array Atomic.t;  (* grows; never shrinks *)
@@ -168,7 +197,7 @@ module Steal_sched = struct
       Mutex.unlock p.lock
     end
 
-  let park p ~until =
+  let park ?track p ~until =
     let t0 = Unix.gettimeofday () in
     Mutex.lock p.lock;
     Atomic.incr p.sleepers;
@@ -177,13 +206,19 @@ module Steal_sched = struct
     done;
     Atomic.decr p.sleepers;
     Mutex.unlock p.lock;
-    Metrics.record park_timer (Unix.gettimeofday () -. t0)
+    let t1 = Unix.gettimeofday () in
+    Metrics.record park_timer (t1 -. t0);
+    match track with
+    | Some tr ->
+        FR.record tr FR.Park ~t0 ~t1;
+        FR.instant tr FR.Unpark ~at:t1
+    | None -> ()
 
   (* Claim-and-run loop.  [stop] lets a joiner lending a hand to a
      *different* region abandon it between items the moment its own
      region completes; abandoned items are still claimed later by the
      lent-to region's owner, whose own drain runs to exhaustion. *)
-  let drain ?stop p ~count r =
+  let drain ?stop ?track ?(state = FR.Run_task) p ~count r =
     let stopped = match stop with None -> Fun.const false | Some f -> f in
     let rec loop () =
       if not (stopped ()) then begin
@@ -191,7 +226,15 @@ module Steal_sched = struct
         if i < r.n then begin
           if Atomic.get r.error = None then begin
             Metrics.incr count;
-            r.run_item i
+            match track with
+            | Some tr ->
+                (* [run_item] never raises (it stores the exception in
+                   the region), so no protect is needed around the
+                   span. *)
+                let t0 = FR.now () in
+                r.run_item i;
+                FR.record tr state ~t0 ~t1:(FR.now ())
+            | None -> r.run_item i
           end
           else Metrics.incr early_aborts;
           if Atomic.fetch_and_add r.completed 1 = r.n - 1 then publish p;
@@ -250,9 +293,19 @@ module Steal_sched = struct
   let rec worker_loop p w =
     if not (Atomic.get p.stop) then begin
       let e0 = Atomic.get p.epoch in
+      let track = if FR.enabled () then Some (worker_track w) else None in
+      let t0 = match track with Some _ -> FR.now () | None -> 0. in
       (match find_work p (Some w) with
-      | Some r -> drain p ~count:w.tasks r
-      | None -> park p ~until:(fun () -> Atomic.get p.stop || Atomic.get p.epoch <> e0));
+      | Some r ->
+          (match track with
+          | Some tr -> FR.record tr FR.Steal_success ~t0 ~t1:(FR.now ())
+          | None -> ());
+          drain ?track p ~count:w.tasks r
+      | None ->
+          (match track with
+          | Some tr -> FR.record tr FR.Steal_attempt ~t0 ~t1:(FR.now ())
+          | None -> ());
+          park ?track p ~until:(fun () -> Atomic.get p.stop || Atomic.get p.epoch <> e0));
       worker_loop p w
     end
 
@@ -323,7 +376,9 @@ module Steal_sched = struct
                   {
                     deque = Deque.create ();
                     tasks = Metrics.counter (Printf.sprintf "sched/worker%d/tasks" (have + k));
+                    id = have + k;
                     cursor = 0;
+                    rec_track = None;
                   })
             in
             let all = Array.append current fresh in
@@ -354,13 +409,22 @@ module Steal_sched = struct
     let rec loop () =
       if not (finished r) then begin
         let e0 = Atomic.get p.epoch in
+        let track = if FR.enabled () then Some (current_track self) else None in
+        let t0 = match track with Some _ -> FR.now () | None -> 0. in
         match find_work p self with
         | Some other ->
-            drain p ~stop:(fun () -> finished r) ~count other;
+            (match track with
+            | Some tr -> FR.record tr FR.Steal_success ~t0 ~t1:(FR.now ())
+            | None -> ());
+            let state = if other == r then FR.Run_task else FR.Join_help in
+            drain ?track ~state p ~stop:(fun () -> finished r) ~count other;
             loop ()
         | None ->
+            (match track with
+            | Some tr -> FR.record tr FR.Steal_attempt ~t0 ~t1:(FR.now ())
+            | None -> ());
             if not (finished r) then begin
-              park p ~until:(fun () -> finished r || Atomic.get p.epoch <> e0);
+              park ?track p ~until:(fun () -> finished r || Atomic.get p.epoch <> e0);
               loop ()
             end
       end
@@ -387,19 +451,34 @@ module Steal_sched = struct
     Metrics.incr regions_run;
     let tickets = min (domains - 1) (n - 1) in
     let self = Domain.DLS.get worker_key in
-    (match self with
-    | Some w ->
-        for _ = 1 to tickets do
-          Deque.push w.deque r
-        done
-    | None ->
-        for _ = 1 to tickets do
-          Deque.Injector.push p.injector r
-        done;
-        Metrics.add injections tickets);
+    let track =
+      if FR.enabled () then begin
+        Trace_export.ensure_flight_at_exit ();
+        Some (current_track self)
+      end
+      else None
+    in
+    let push_tickets () =
+      match self with
+      | Some w ->
+          for _ = 1 to tickets do
+            Deque.push w.deque r
+          done
+      | None ->
+          for _ = 1 to tickets do
+            Deque.Injector.push p.injector r
+          done;
+          Metrics.add injections tickets
+    in
+    (match track with
+    | Some tr when tickets > 0 ->
+        let t0 = FR.now () in
+        push_tickets ();
+        FR.record tr FR.Inject ~t0 ~t1:(FR.now ())
+    | _ -> push_tickets ());
     publish p;
     let count = match self with Some w -> w.tasks | None -> external_tasks in
-    drain p ~count r;
+    drain ?track p ~count r;
     join p self r;
     (match Atomic.get error with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt

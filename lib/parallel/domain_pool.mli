@@ -25,7 +25,15 @@
       determinism tests.
 
     Tasks must not share mutable state (the simulator's runs don't:
-    each builds its own policies, traces and engine state). *)
+    each builds its own policies, traces and engine state).
+
+    With [CKPT_SCHED_TRACE] set, the steal backend records every
+    worker's state intervals (run-task, steal attempts/successes,
+    ticket injection, parking, join-helping) into the scheduler flight
+    recorder ([Ckpt_telemetry.Flight_recorder]); [ckpt sched-report]
+    turns the recording into a per-worker utilization breakdown, and a
+    path-valued [CKPT_SCHED_TRACE] additionally exports a Chrome
+    trace_event file at exit. *)
 
 type sched = Seq | Flat | Steal
 

@@ -2,12 +2,15 @@ module Policy = Ckpt_policies.Policy
 module Summary = Ckpt_numerics.Summary
 module Domain_pool = Ckpt_parallel.Domain_pool
 module Metrics = Ckpt_telemetry.Metrics
+module Metrics_export = Ckpt_telemetry.Metrics_export
 module Tracer = Ckpt_telemetry.Tracer
 module Trace_export = Ckpt_telemetry.Trace_export
 
 (* Replicate wall-clock latency (seconds), across all policies of the
    replicate; fills under CKPT_METRICS=1. *)
 let replicate_seconds = Metrics.histogram "eval/replicate_seconds"
+let policy_run_seconds = Metrics.histogram "eval/policy_run_seconds"
+let trace_gen_seconds = Metrics.histogram "eval/trace_gen_seconds"
 let replicates_run = Metrics.counter "eval/replicates"
 let unusable_replicates = Metrics.counter "eval/unusable_replicates"
 
@@ -102,8 +105,21 @@ let run_replicate ~scenario ~policies replicate =
   let tracing = Tracer.enabled () in
   let metered = Metrics.enabled () in
   let t_start = if metered then Unix.gettimeofday () else 0. in
+  (* The per-stage latency histograms feed the metrics exposition
+     (p50/p90/p99 in `ckpt stats` and the OpenMetrics textfile); the
+     stage timers only carry totals. *)
+  let observed hist f =
+    if not metered then f ()
+    else begin
+      let t0 = Unix.gettimeofday () in
+      let v = f () in
+      Metrics.observe hist (Unix.gettimeofday () -. t0);
+      v
+    end
+  in
   let traces =
-    Instrument.time "trace-generation" (fun () -> Scenario.traces scenario ~replicate)
+    Instrument.time "trace-generation" (fun () ->
+        observed trace_gen_seconds (fun () -> Scenario.traces scenario ~replicate))
   in
   let traced_run ~policy =
     if not tracing then Engine.run ~scenario ~traces ~policy
@@ -116,7 +132,9 @@ let run_replicate ~scenario ~policies replicate =
   in
   let runs =
     Array.map
-      (fun policy -> Instrument.time policy.Policy.name (fun () -> traced_run ~policy))
+      (fun policy ->
+        Instrument.time policy.Policy.name (fun () ->
+            observed policy_run_seconds (fun () -> traced_run ~policy)))
       policies
   in
   let best =
@@ -362,6 +380,10 @@ let degradation_table ~scenario ~policies ~replicates =
   let owns_timers = top_level && not (Instrument.in_scope ()) in
   if owns_timers then Instrument.reset ();
   if Tracer.enabled () then Trace_export.ensure_at_exit ();
+  (* Long tables are exactly what the periodic sampler exists for; the
+     call is a no-op unless CKPT_METRICS_INTERVAL/CKPT_METRICS_OUT is
+     set. *)
+  Metrics_export.ensure_sampler ();
   let policy_array = Array.of_list policies in
   let progress =
     if top_level then Some (Instrument.progress ~label:"degradation_table" ~total:replicates)

@@ -67,7 +67,13 @@ let merge_histograms a b =
 let histogram_mean h = if h.count = 0 then nan else h.sum /. float_of_int h.count
 
 (* Quantile estimated from the log-scale buckets: walk to the bucket
-   containing the rank and report its geometric midpoint. *)
+   containing the rank and report its geometric midpoint, clamped into
+   the observed range.  The clamp matters at the extremes: min/max are
+   exact observations while midpoints are bucket estimates, and an
+   unclamped midpoint can fall outside [min_v, max_v] (e.g. every
+   observation at 1.9 lives in bucket [1,2) whose midpoint is 1.41),
+   which would break monotonicity against the exact endpoints returned
+   for p<=0 / p>=1. *)
 let histogram_quantile h p =
   if h.count = 0 then nan
   else if p <= 0. then h.min_v
@@ -79,7 +85,8 @@ let histogram_quantile h p =
       if i >= hist_buckets then h.max_v
       else begin
         let seen = seen + h.buckets.(i) in
-        if seen >= rank then bucket_lower i *. sqrt 2. else walk (i + 1) seen
+        if seen >= rank then Float.max h.min_v (Float.min h.max_v (bucket_lower i *. sqrt 2.))
+        else walk (i + 1) seen
       end
     in
     walk 0 0
@@ -189,8 +196,9 @@ let record t dt =
 
 let observe h v =
   if Atomic.get enabled_flag then begin
+    let b = bucket_of_value v in
     Mutex.lock h.h_lock;
-    h.h_buckets.(bucket_of_value v) <- h.h_buckets.(bucket_of_value v) + 1;
+    h.h_buckets.(b) <- h.h_buckets.(b) + 1;
     h.h_count <- h.h_count + 1;
     h.h_sum <- h.h_sum +. v;
     h.h_min <- Float.min h.h_min v;
@@ -270,9 +278,9 @@ let pp_value fmt = function
   | Histogram h ->
       if h.count = 0 then Format.fprintf fmt "empty"
       else
-        Format.fprintf fmt "n=%d mean=%.4g p50~%.3g p99~%.3g min=%.4g max=%.4g" h.count
-          (histogram_mean h) (histogram_quantile h 0.5) (histogram_quantile h 0.99) h.min_v
-          h.max_v
+        Format.fprintf fmt "n=%d mean=%.4g p50~%.3g p90~%.3g p99~%.3g min=%.4g max=%.4g" h.count
+          (histogram_mean h) (histogram_quantile h 0.5) (histogram_quantile h 0.9)
+          (histogram_quantile h 0.99) h.min_v h.max_v
 
 let nonempty = function
   | Counter 0 -> false

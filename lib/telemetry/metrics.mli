@@ -58,8 +58,10 @@ val merge_histograms : histogram_snapshot -> histogram_snapshot -> histogram_sna
 val empty_histogram : histogram_snapshot
 val histogram_mean : histogram_snapshot -> float
 val histogram_quantile : histogram_snapshot -> float -> float
-(** Bucket-resolution estimate (geometric midpoint of the bucket
-    holding the rank); exact for {!histogram_mean} and the extrema. *)
+(** Bucket-resolution estimate: geometric midpoint of the bucket
+    holding the rank, clamped into [[min_v, max_v]] so the result is
+    monotone in the quantile argument; [p <= 0] and [p >= 1] return
+    the exact observed extrema.  NaN on an empty snapshot. *)
 
 val bucket_lower : int -> float
 (** Lower bound of bucket [i], [2^(i - 32)] seconds. *)

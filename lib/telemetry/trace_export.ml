@@ -123,6 +123,68 @@ let write ~path buffers =
     ~finally:(fun () -> close_out oc)
     (fun () -> if is_jsonl path then write_jsonl oc buffers else write_chrome oc buffers)
 
+(* -- flight-recorder export ------------------------------------------------ *)
+
+(* One Chrome thread per worker track.  Flight-recorder timestamps are
+   absolute Unix times; rebase on the earliest recorded instant so the
+   trace opens at t=0 instead of 1.7e9 seconds. *)
+let write_flight_chrome oc tracks =
+  let epoch =
+    List.fold_left
+      (fun acc t ->
+        match Flight_recorder.spans t with
+        | [] -> acc
+        | { Flight_recorder.sp_t0; _ } :: _ -> Float.min acc sp_t0)
+      infinity tracks
+  in
+  let epoch = if Float.is_finite epoch then epoch else 0. in
+  output_string oc "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  let first = ref true in
+  let emit line =
+    if !first then first := false else output_string oc ",\n";
+    output_string oc line
+  in
+  List.iteri
+    (fun tid t ->
+      emit
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+           tid
+           (json_escape (Flight_recorder.track_name t)));
+      List.iter
+        (fun { Flight_recorder.sp_state; sp_t0; sp_t1 } ->
+          let name = Flight_recorder.state_name sp_state in
+          if sp_t1 > sp_t0 then
+            emit (span_json ~tid ~name ~t0:(sp_t0 -. epoch) ~t1:(sp_t1 -. epoch) ~args:"")
+          else emit (instant_json ~tid ~name ~at:(sp_t0 -. epoch) ~args:""))
+        (Flight_recorder.spans t))
+    tracks;
+  output_string oc "\n]}\n"
+
+let write_flight ~path tracks =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_flight_chrome oc tracks)
+
+let flight_at_exit_installed = Atomic.make false
+
+let write_flight_registered () =
+  match Flight_recorder.out_path () with
+  | None -> ()
+  | Some path ->
+      let tracks = Flight_recorder.tracks () in
+      if List.exists (fun t -> Flight_recorder.spans t <> []) tracks then begin
+        write_flight ~path tracks;
+        let dropped = List.fold_left (fun a t -> a + Flight_recorder.dropped t) 0 tracks in
+        Printf.eprintf "[sched-trace] wrote %d worker track(s) to %s%s\n%!" (List.length tracks)
+          path
+          (if dropped > 0 then
+             Printf.sprintf " (%d spans dropped; raise CKPT_SCHED_TRACE_CAP)" dropped
+           else "")
+      end
+
+let ensure_flight_at_exit () =
+  if not (Atomic.exchange flight_at_exit_installed true) then at_exit write_flight_registered
+
 (* End-of-process export of everything the sink accumulated.  The hook
    is installed at most once, on the first registration-producing code
    path that calls [ensure_at_exit] (the evaluation harness), and only

@@ -5,6 +5,10 @@ module Metrics = Ckpt_telemetry.Metrics
 module Tracer = Ckpt_telemetry.Tracer
 module Trace_export = Ckpt_telemetry.Trace_export
 module Provenance = Ckpt_telemetry.Provenance
+module FR = Ckpt_telemetry.Flight_recorder
+module Json = Ckpt_telemetry.Json
+module Metrics_export = Ckpt_telemetry.Metrics_export
+module Bench_compare = Ckpt_telemetry.Bench_compare
 
 let check = Alcotest.check
 let close ?(tol = 1e-9) msg expected actual =
@@ -20,6 +24,10 @@ let read_file path =
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc s)
 
 let with_metrics f =
   Metrics.set_enabled true;
@@ -265,6 +273,380 @@ let test_json_escape () =
     (Trace_export.json_escape "a\"b\\c");
   check Alcotest.string "control characters" "tab\\there" (Trace_export.json_escape "tab\there")
 
+(* -- histogram algebra: properties ------------------------------------------ *)
+
+let samples_gen = QCheck2.Gen.(list_size (int_range 1 40) (float_range 1e-6 1e6))
+
+(* Exact equality on the discrete components (buckets, count, min,
+   max); the float sum is only associative/commutative up to rounding. *)
+let same_hist a b =
+  a.Metrics.buckets = b.Metrics.buckets
+  && a.Metrics.count = b.Metrics.count
+  && a.Metrics.min_v = b.Metrics.min_v
+  && a.Metrics.max_v = b.Metrics.max_v
+  && Float.abs (a.Metrics.sum -. b.Metrics.sum) <= 1e-9 *. Float.max 1. (Float.abs a.Metrics.sum)
+
+let prop_merge_commutative =
+  QCheck2.Test.make ~name:"merge_histograms is commutative" ~count:100
+    QCheck2.Gen.(pair samples_gen samples_gen)
+    (fun (xs, ys) ->
+      let a = snapshot_of xs and b = snapshot_of ys in
+      same_hist (Metrics.merge_histograms a b) (Metrics.merge_histograms b a))
+
+let prop_merge_associative =
+  QCheck2.Test.make ~name:"merge_histograms is associative" ~count:100
+    QCheck2.Gen.(triple samples_gen samples_gen samples_gen)
+    (fun (xs, ys, zs) ->
+      let a = snapshot_of xs and b = snapshot_of ys and c = snapshot_of zs in
+      same_hist
+        (Metrics.merge_histograms (Metrics.merge_histograms a b) c)
+        (Metrics.merge_histograms a (Metrics.merge_histograms b c)))
+
+let prop_quantile_monotone =
+  QCheck2.Test.make ~name:"histogram_quantile monotone in q" ~count:100
+    QCheck2.Gen.(triple samples_gen (float_range 0. 1.) (float_range 0. 1.))
+    (fun (xs, qa, qb) ->
+      let s = snapshot_of xs in
+      let qlo = Float.min qa qb and qhi = Float.max qa qb in
+      Metrics.histogram_quantile s qlo <= Metrics.histogram_quantile s qhi)
+
+(* -- domain safety ----------------------------------------------------------- *)
+
+let test_metrics_concurrent_increments () =
+  with_metrics (fun () ->
+      let c = Metrics.counter "stress/hits" in
+      let t = Metrics.timer "stress/t" in
+      let h = Metrics.histogram "stress/h" in
+      Metrics.reset ~prefix:"stress/" ();
+      let domains = 4 and per = 10_000 in
+      let worker () =
+        for i = 1 to per do
+          Metrics.incr c;
+          Metrics.record t 1e-3;
+          Metrics.observe h (float_of_int (1 + (i mod 7)))
+        done
+      in
+      let ds = List.init domains (fun _ -> Domain.spawn worker) in
+      List.iter Domain.join ds;
+      (match Metrics.find "stress/hits" with
+      | Some (Metrics.Counter n) -> check Alcotest.int "no lost counter increments" (domains * per) n
+      | _ -> Alcotest.fail "counter registered");
+      (match Metrics.find "stress/t" with
+      | Some (Metrics.Timer { calls; seconds }) ->
+          check Alcotest.int "no lost timer calls" (domains * per) calls;
+          close ~tol:1e-6 "timer sum exact" (float_of_int (domains * per) *. 1e-3) seconds
+      | _ -> Alcotest.fail "timer registered");
+      match Metrics.find "stress/h" with
+      | Some (Metrics.Histogram s) ->
+          check Alcotest.int "no lost observations" (domains * per) s.Metrics.count;
+          close "stress hist min" 1. s.Metrics.min_v;
+          close "stress hist max" 7. s.Metrics.max_v
+      | _ -> Alcotest.fail "histogram registered")
+
+(* -- json -------------------------------------------------------------------- *)
+
+let test_json_parse_roundtrip () =
+  let src = {|{"a": 1.5, "b": [true, false, null, "x\ny"], "nested": {"k": -2e3}}|} in
+  match Json.parse src with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok j ->
+      close "float member" 1.5 (Option.get (Option.bind (Json.member j "a") Json.to_float));
+      close "nested path" (-2000.)
+        (Option.get (Option.bind (Json.path j [ "nested"; "k" ]) Json.to_float));
+      (match Option.bind (Json.member j "b") Json.to_list with
+      | Some [ b1; b2; n; s ] ->
+          check Alcotest.(option bool) "true literal" (Some true) (Json.to_bool b1);
+          check Alcotest.(option bool) "false literal" (Some false) (Json.to_bool b2);
+          check Alcotest.bool "null literal" true (n = Json.Null);
+          check Alcotest.(option string) "escaped string" (Some "x\ny") (Json.to_string_opt s)
+      | _ -> Alcotest.fail "array shape");
+      check Alcotest.(list string) "keys in document order" [ "a"; "b"; "nested" ] (Json.keys j);
+      check Alcotest.bool "serializer round-trips" true (Json.parse (Json.to_string j) = Ok j);
+      check Alcotest.bool "pretty serializer round-trips" true
+        (Json.parse (Json.to_string ~pretty:true j) = Ok j)
+
+let test_json_unicode_escapes () =
+  (* é is two UTF-8 bytes; the surrogate pair decodes to U+1F600
+     (four bytes). *)
+  match Json.parse {|"Aé😀"|} with
+  | Ok (Json.Str s) -> check Alcotest.string "utf-8 decoding" "A\xc3\xa9\xf0\x9f\x98\x80" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun src ->
+      match Json.parse src with
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" src
+      | Error _ -> ())
+    [ "{"; "[1,]"; "\"unterminated"; "{\"a\":1} trailing"; "nul"; "1.2.3"; "" ]
+
+(* -- metrics exposition ------------------------------------------------------ *)
+
+let test_openmetrics_render () =
+  with_metrics (fun () ->
+      Metrics.add (Metrics.counter "exp/events") 3;
+      Metrics.record (Metrics.timer "exp/phase_seconds") 0.25;
+      let h = Metrics.histogram "exp/latency" in
+      List.iter (Metrics.observe h) [ 0.001; 0.01; 0.1; 1.0; 10.0 ];
+      let body = Metrics_export.openmetrics (Metrics.snapshot ()) in
+      check Alcotest.bool "counter type line" true
+        (contains ~needle:"# TYPE ckpt_exp_events counter" body);
+      check Alcotest.bool "counter total" true (contains ~needle:"ckpt_exp_events_total 3" body);
+      check Alcotest.bool "timer keeps existing unit suffix" true
+        (contains ~needle:"ckpt_exp_phase_seconds_sum" body);
+      check Alcotest.bool "no doubled unit suffix" false (contains ~needle:"_seconds_seconds" body);
+      check Alcotest.bool "histogram gains unit suffix" true
+        (contains ~needle:"ckpt_exp_latency_seconds_count 5" body);
+      check Alcotest.bool "median quantile line" true
+        (contains ~needle:"ckpt_exp_latency_seconds{quantile=\"0.5\"}" body);
+      check Alcotest.bool "p99 quantile line" true (contains ~needle:"{quantile=\"0.99\"}" body);
+      let terminator = "# EOF\n" in
+      check Alcotest.bool "openmetrics terminator" true
+        (String.length body >= String.length terminator
+        && String.sub body
+             (String.length body - String.length terminator)
+             (String.length terminator)
+           = terminator))
+
+let test_jsonl_sample_parses () =
+  with_metrics (fun () ->
+      Metrics.incr (Metrics.counter "exp/ticks");
+      let h = Metrics.histogram "exp/obs" in
+      List.iter (Metrics.observe h) [ 1.0; 2.0; 4.0; 8.0 ];
+      let line = Metrics_export.jsonl_sample ~ts:123.5 (Metrics.snapshot ()) in
+      check Alcotest.bool "single line" true (not (String.contains line '\n'));
+      match Json.parse line with
+      | Error e -> Alcotest.failf "sample is not valid JSON: %s" e
+      | Ok j ->
+          close "timestamp" 123.5 (Option.get (Option.bind (Json.member j "ts") Json.to_float));
+          let m = Option.get (Json.member j "metrics") in
+          close "counter value" 1.
+            (Option.get (Option.bind (Json.path m [ "exp/ticks"; "value" ]) Json.to_float));
+          let q p = Option.get (Option.bind (Json.path m [ "exp/obs"; p ]) Json.to_float) in
+          check Alcotest.bool "histogram quantiles ordered" true
+            (q "p50" <= q "p90" && q "p90" <= q "p99"))
+
+(* -- flight recorder --------------------------------------------------------- *)
+
+let with_flight f =
+  FR.reset ();
+  Fun.protect f ~finally:FR.reset
+
+let test_flight_monotone_clamp () =
+  with_flight (fun () ->
+      let t = FR.track ~capacity:16 "fr/clamp" in
+      FR.record t FR.Run_task ~t0:10. ~t1:12.;
+      (* A backwards-stepping wall clock must not yield negative or
+         reverse-overlapping spans. *)
+      FR.record t FR.Steal_attempt ~t0:11. ~t1:11.5;
+      FR.record t FR.Park ~t0:13. ~t1:12.5;
+      match FR.spans t with
+      | [ a; b; c ] ->
+          close "first span kept" 10. a.FR.sp_t0;
+          close "clamped start" 12. b.FR.sp_t0;
+          close "clamped end" 12. b.FR.sp_t1;
+          close "later start kept" 13. c.FR.sp_t0;
+          close "end clamped to start" 13. c.FR.sp_t1;
+          check Alcotest.bool "spans monotone" true
+            (a.FR.sp_t1 <= b.FR.sp_t0 && b.FR.sp_t1 <= c.FR.sp_t0)
+      | sps -> Alcotest.failf "expected 3 spans, got %d" (List.length sps))
+
+let test_flight_wraparound () =
+  with_flight (fun () ->
+      let t = FR.track ~capacity:4 "fr/wrap" in
+      for i = 0 to 9 do
+        let x = float_of_int i in
+        FR.record t FR.Run_task ~t0:x ~t1:(x +. 0.5)
+      done;
+      check Alcotest.int "dropped counts overwrites" 6 (FR.dropped t);
+      match FR.spans t with
+      | [ a; _; _; d ] ->
+          close "oldest surviving span" 6. a.FR.sp_t0;
+          close "newest span" 9. d.FR.sp_t0
+      | sps -> Alcotest.failf "expected 4 spans, got %d" (List.length sps))
+
+let test_flight_report () =
+  with_flight (fun () ->
+      let w = FR.track "worker0" in
+      FR.record w FR.Run_task ~t0:0. ~t1:6.;
+      FR.record w FR.Steal_attempt ~t0:6. ~t1:9.;
+      FR.record w FR.Park ~t0:9. ~t1:10.;
+      FR.instant w FR.Unpark ~at:10.;
+      let ext = FR.track "external0" in
+      FR.record ext FR.Inject ~t0:0. ~t1:0.5;
+      FR.record ext FR.Run_task ~t0:0.5 ~t1:10.;
+      let reports = FR.report () in
+      check Alcotest.int "one report per track" 2 (List.length reports);
+      let wr = List.find (fun r -> r.FR.wr_name = "worker0") reports in
+      close "wall = last end - first start" 10. wr.FR.wr_wall;
+      close "attribution covers the wall" 10. wr.FR.wr_attributed;
+      close "run-task seconds" 6. (FR.state_seconds wr FR.Run_task);
+      check Alcotest.int "unpark counted as an event" 1 (FR.state_count wr FR.Unpark);
+      close "unpark has no duration" 0. (FR.state_seconds wr FR.Unpark);
+      (* Failed steals (3 s) beat parking churn (1 s) and injection (0.5 s). *)
+      match FR.dominant_overhead reports with
+      | Some o ->
+          check Alcotest.string "dominant overhead" "failed steals" o.FR.ov_label;
+          close "dominant seconds" 3. o.FR.ov_seconds
+      | None -> Alcotest.fail "expected a dominant overhead")
+
+let test_flight_chrome_golden () =
+  with_flight (fun () ->
+      let w = FR.track "worker0" in
+      FR.record w FR.Run_task ~t0:100.0 ~t1:100.5;
+      FR.record w FR.Steal_attempt ~t0:100.5 ~t1:100.6;
+      FR.instant w FR.Unpark ~at:100.6;
+      let ext = FR.track "external0" in
+      FR.record ext FR.Inject ~t0:100.0 ~t1:100.1;
+      let path = Filename.temp_file "ckpt_flight" ".json" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Trace_export.write_flight ~path (FR.tracks ());
+          let body = read_file path in
+          match Json.parse body with
+          | Error e -> Alcotest.failf "flight trace is not valid JSON: %s" e
+          | Ok j ->
+              let events = Option.get (Option.bind (Json.member j "traceEvents") Json.to_list) in
+              check Alcotest.bool "has events" true (events <> []);
+              let ph ev = Option.bind (Json.member ev "ph") Json.to_string_opt in
+              let names =
+                List.filter_map
+                  (fun ev ->
+                    if ph ev = Some "M" then
+                      Option.bind (Json.path ev [ "args"; "name" ]) Json.to_string_opt
+                    else None)
+                  events
+              in
+              check Alcotest.bool "both tracks carry thread_name metadata" true
+                (List.mem "worker0" names && List.mem "external0" names);
+              List.iter
+                (fun ev ->
+                  let has k = Json.member ev k <> None in
+                  check Alcotest.bool "ph present" true (has "ph");
+                  check Alcotest.bool "pid present" true (has "pid");
+                  check Alcotest.bool "tid present" true (has "tid");
+                  if ph ev <> Some "M" then begin
+                    check Alcotest.bool "ts present" true (has "ts");
+                    check Alcotest.bool "ts rebased to trace start" true
+                      (Option.get (Option.bind (Json.member ev "ts") Json.to_float) >= 0.)
+                  end)
+                events;
+              let phs = List.filter_map ph events in
+              check Alcotest.bool "complete spans present" true (List.mem "X" phs);
+              check Alcotest.bool "instant events present" true (List.mem "i" phs)))
+
+(* -- bench trajectory -------------------------------------------------------- *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "ckpt_bench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun name -> Sys.remove (Filename.concat dir name)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+let bench_artifact ~rate ~elapsed =
+  Printf.sprintf
+    {|{"bench": "unit", "replicates": 8, "rate_per_sec": %g, "elapsed_seconds": %g, "deterministic": true}|}
+    rate elapsed
+
+let bench_sidecar ~domains =
+  Printf.sprintf
+    {|{"schema": "ckpt-bench-meta/1", "domains": %d, "env": {"CKPT_SCHED": "steal"}, "parameters": {"physical_cores": "4"}}|}
+    domains
+
+let test_bench_diff_self () =
+  with_temp_dir (fun dir ->
+      let p = Filename.concat dir "BENCH_unit.json" in
+      write_file p (bench_artifact ~rate:100. ~elapsed:2.);
+      write_file (p ^ ".meta.json") (bench_sidecar ~domains:4);
+      match Bench_compare.diff ~old_path:p ~new_path:p () with
+      | Error e -> Alcotest.failf "diff failed: %s" e
+      | Ok v ->
+          check Alcotest.int "self-diff exits 0" Bench_compare.exit_ok (Bench_compare.exit_code v);
+          check Alcotest.bool "no mismatches" true (v.Bench_compare.v_config_mismatches = []);
+          check Alcotest.bool "compared something" true (v.Bench_compare.v_comparisons <> []))
+
+let test_bench_diff_regression () =
+  with_temp_dir (fun dir ->
+      let old_p = Filename.concat dir "BENCH_old.json" in
+      let new_p = Filename.concat dir "BENCH_new.json" in
+      write_file old_p (bench_artifact ~rate:100. ~elapsed:2.);
+      write_file (old_p ^ ".meta.json") (bench_sidecar ~domains:4);
+      (* A 20% throughput drop is well past the 5% higher-better
+         threshold; the matching elapsed keeps the rest clean. *)
+      write_file new_p (bench_artifact ~rate:80. ~elapsed:2.);
+      write_file (new_p ^ ".meta.json") (bench_sidecar ~domains:4);
+      match Bench_compare.diff ~old_path:old_p ~new_path:new_p () with
+      | Error e -> Alcotest.failf "diff failed: %s" e
+      | Ok v ->
+          check Alcotest.int "regression exit code" Bench_compare.exit_regression
+            (Bench_compare.exit_code v);
+          let c =
+            List.find
+              (fun c -> c.Bench_compare.c_metric = "rate_per_sec")
+              v.Bench_compare.v_comparisons
+          in
+          check Alcotest.bool "rate flagged" true c.Bench_compare.c_regressed;
+          close ~tol:1e-6 "delta percent" (-20.) c.Bench_compare.c_delta)
+
+let test_bench_diff_improvement () =
+  with_temp_dir (fun dir ->
+      let old_p = Filename.concat dir "BENCH_old.json" in
+      let new_p = Filename.concat dir "BENCH_new.json" in
+      write_file old_p (bench_artifact ~rate:100. ~elapsed:2.);
+      write_file (old_p ^ ".meta.json") (bench_sidecar ~domains:4);
+      write_file new_p (bench_artifact ~rate:150. ~elapsed:1.);
+      write_file (new_p ^ ".meta.json") (bench_sidecar ~domains:4);
+      match Bench_compare.diff ~old_path:old_p ~new_path:new_p () with
+      | Error e -> Alcotest.failf "diff failed: %s" e
+      | Ok v ->
+          check Alcotest.int "improvements exit 0" Bench_compare.exit_ok
+            (Bench_compare.exit_code v);
+          check Alcotest.bool "improvement flagged" true
+            (List.exists (fun c -> c.Bench_compare.c_improved) v.Bench_compare.v_comparisons))
+
+let test_bench_diff_incomparable () =
+  with_temp_dir (fun dir ->
+      let old_p = Filename.concat dir "BENCH_old.json" in
+      let new_p = Filename.concat dir "BENCH_new.json" in
+      write_file old_p (bench_artifact ~rate:100. ~elapsed:2.);
+      write_file (old_p ^ ".meta.json") (bench_sidecar ~domains:4);
+      write_file new_p (bench_artifact ~rate:100. ~elapsed:2.);
+      (* Same numbers, different machine shape: refuse the comparison. *)
+      write_file (new_p ^ ".meta.json") (bench_sidecar ~domains:8);
+      match Bench_compare.diff ~old_path:old_p ~new_path:new_p () with
+      | Error e -> Alcotest.failf "diff failed: %s" e
+      | Ok v ->
+          check Alcotest.int "incomparable exit code" Bench_compare.exit_incomparable
+            (Bench_compare.exit_code v);
+          check Alcotest.bool "mismatch names domains" true
+            (List.exists (contains ~needle:"domains") v.Bench_compare.v_config_mismatches))
+
+let test_bench_diff_unreadable () =
+  match Bench_compare.diff ~old_path:"/nonexistent-ckpt/BENCH_x.json"
+          ~new_path:"/nonexistent-ckpt/BENCH_y.json" ()
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unreadable input must be an error"
+
+let test_bench_check () =
+  with_temp_dir (fun dir ->
+      let good = Filename.concat dir "BENCH_good.json" in
+      write_file good (bench_artifact ~rate:100. ~elapsed:2.);
+      write_file (good ^ ".meta.json") (bench_sidecar ~domains:4);
+      (* Missing sidecar and unparseable body are both problems. *)
+      write_file (Filename.concat dir "BENCH_bad.json") "{not json";
+      let results = Bench_compare.check ~dir in
+      check Alcotest.int "two artifacts found" 2 (List.length results);
+      let problems name = List.assoc (Filename.concat dir name) results in
+      check Alcotest.bool "clean artifact has no problems" true (problems "BENCH_good.json" = []);
+      check Alcotest.bool "broken artifact flagged" true (problems "BENCH_bad.json" <> []))
+
 (* -- provenance ------------------------------------------------------------- *)
 
 let test_provenance_manifest () =
@@ -310,6 +692,37 @@ let () =
         [
           Alcotest.test_case "merge = concatenated stream" `Quick test_histogram_merge;
           Alcotest.test_case "moments and quantiles" `Quick test_histogram_moments;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest
+            [ prop_merge_commutative; prop_merge_associative; prop_quantile_monotone ] );
+      ( "domain safety",
+        [ Alcotest.test_case "concurrent increments are exact" `Quick test_metrics_concurrent_increments ] );
+      ( "json",
+        [
+          Alcotest.test_case "parse + round-trip" `Quick test_json_parse_roundtrip;
+          Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escapes;
+          Alcotest.test_case "rejects malformed input" `Quick test_json_rejects_garbage;
+        ] );
+      ( "metrics export",
+        [
+          Alcotest.test_case "openmetrics textfile" `Quick test_openmetrics_render;
+          Alcotest.test_case "jsonl sample parses" `Quick test_jsonl_sample_parses;
+        ] );
+      ( "flight recorder",
+        [
+          Alcotest.test_case "monotone clamp" `Quick test_flight_monotone_clamp;
+          Alcotest.test_case "ring wraparound" `Quick test_flight_wraparound;
+          Alcotest.test_case "utilization report" `Quick test_flight_report;
+          Alcotest.test_case "chrome trace golden" `Quick test_flight_chrome_golden;
+        ] );
+      ( "bench compare",
+        [
+          Alcotest.test_case "self-diff is clean" `Quick test_bench_diff_self;
+          Alcotest.test_case "detects regression" `Quick test_bench_diff_regression;
+          Alcotest.test_case "improvement passes" `Quick test_bench_diff_improvement;
+          Alcotest.test_case "sidecar disagreement" `Quick test_bench_diff_incomparable;
+          Alcotest.test_case "unreadable input errors" `Quick test_bench_diff_unreadable;
+          Alcotest.test_case "check validates artifacts" `Quick test_bench_check;
         ] );
       ( "ring buffers",
         [
