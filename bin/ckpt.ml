@@ -7,6 +7,7 @@
      mtbf         platform MTBF under both rejuvenation options
      waste        first-order waste analysis (Young's back-of-envelope)
      trace        trace one execution: event timeline + metrics reconciliation
+     explain      annotated decision timeline with expected-value rationale
      stats        run an evaluation with the metrics registry enabled
      trace-stats  generate traces and report their empirical statistics
      gen-log      write a synthetic LANL-style availability log
@@ -388,6 +389,71 @@ let trace_cmd =
        ~doc:"Trace one execution: typed event timeline, waste breakdown, trace_event export.")
     term
 
+(* -- explain ------------------------------------------------------------------ *)
+
+let explain_cmd =
+  let policy_arg =
+    let doc =
+      "Policy: young | dalylow | dalyhigh | optexp | bouguerra | liu | dpnf | dpmakespan | \
+       search."
+    in
+    Arg.(value & opt string "dpnf" & info [ "policy" ] ~docv:"NAME" ~doc)
+  in
+  let replicate_arg =
+    Arg.(value & opt int 0 & info [ "replicate" ] ~docv:"N" ~doc:"Trace-set replicate index.")
+  in
+  let limit_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "limit" ] ~docv:"N" ~doc:"Decisions to annotate (negative for all).")
+  in
+  let out_arg =
+    let doc = "Also write the transcript to a file (with a provenance sidecar)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"PATH" ~doc)
+  in
+  let run mtbf_hours shape processors checkpoint downtime work_days seed policy_name replicate
+      limit out =
+    let job = job ~mtbf_hours ~shape ~processors ~checkpoint ~downtime ~work_days in
+    let scenario = S.Scenario.create ~seed:(Int64.of_int seed) job in
+    let policy = policy_of_name ~scenario job policy_name in
+    let explained = S.Explain.run ~scenario ~policy ~replicate in
+    let transcript = Format.asprintf "%a" (S.Explain.print ~limit) explained in
+    print_endline transcript;
+    (match explained.S.Explain.outcome with
+    | S.Engine.Completed _ when not (S.Explain.reconciles explained) ->
+        if explained.S.Explain.dropped = 0 then begin
+          prerr_endline "ckpt explain: trace totals do not reconcile with engine metrics";
+          exit 1
+        end
+    | _ -> ());
+    match out with
+    | None -> ()
+    | Some path ->
+        Ckpt_store.Atomic_file.write ~path (transcript ^ "\n");
+        T.Provenance.write_sidecar
+          ~extra:
+            [
+              ("policy", policy.Po.Policy.name);
+              ("replicate", string_of_int replicate);
+              ("seed", string_of_int seed);
+            ]
+          ~path ();
+        Printf.printf "wrote %s (and %s)\n" path (T.Provenance.sidecar_path path)
+  in
+  let term =
+    Term.(
+      const run $ mtbf_arg $ shape_arg $ processors_arg $ checkpoint_arg $ downtime_arg
+      $ work_days_arg $ seed_arg $ policy_arg $ replicate_arg $ limit_arg $ out_arg)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Replay one execution and annotate every policy decision with its expected-value \
+          rationale (platform hazard, expected time to next failure, commit probability) and \
+          realized outcome, plus a waste-decomposition footer reconciled bitwise against the \
+          event stream.")
+    term
+
 (* -- stats ------------------------------------------------------------------- *)
 
 let stats_cmd =
@@ -728,7 +794,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            period_cmd; simulate_cmd; schedule_cmd; mtbf_cmd; waste_cmd; trace_cmd; stats_cmd;
-            trace_stats_cmd; gen_log_cmd; fit_log_cmd; experiment_cmd; sweep_cmd;
-            sched_report_cmd; bench_cmd;
+            period_cmd; simulate_cmd; schedule_cmd; mtbf_cmd; waste_cmd; trace_cmd;
+            explain_cmd; stats_cmd; trace_stats_cmd; gen_log_cmd; fit_log_cmd; experiment_cmd;
+            sweep_cmd; sched_report_cmd; bench_cmd;
           ]))

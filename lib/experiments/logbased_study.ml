@@ -72,13 +72,11 @@ let print ?(config = Config.default ()) ~cluster () =
        "Figure %s: log-based failures (synthetic LANL %s; node MTBF %.2e s)"
        (match cluster with Cluster19 -> "7" | Cluster18 -> "100a")
        (cluster_name cluster) t.empirical_mtbf);
-  let series =
-    Report.degradation_series
-      (List.map (fun pt -> (float_of_int pt.processors, pt.table)) t.points)
-  in
+  let tables = List.map (fun pt -> (float_of_int pt.processors, pt.table)) t.points in
+  let series = Report.degradation_series tables in
   Report.print_series ~x_label:"processors" ~y_label:"average makespan degradation" series;
   Report.write_csv
     ~path:
       (Filename.concat (Report.results_dir ())
          (match cluster with Cluster19 -> "fig7_logbased.csv" | Cluster18 -> "fig100_logbased.csv"))
-    (Report.csv_of_series ~x_label:"processors" series)
+    (Report.csv_of_tables ~x_label:"processors" tables)

@@ -5,6 +5,7 @@ module S = Ckpt_simulator
 type curve = {
   workload_name : string;
   points : (int * float) list;
+  profiles : (int * S.Evaluation.waste_profile) list;
   best_processors : int;
 }
 
@@ -31,7 +32,7 @@ let run ?(config = Config.default ()) ?processor_counts ~preset ~dist_kind ~poli
   let curves =
     List.map
       (fun workload_model ->
-        let points =
+        let evaluated =
           List.filter_map
             (fun processors ->
               let scenario =
@@ -43,10 +44,12 @@ let run ?(config = Config.default ()) ?processor_counts ~preset ~dist_kind ~poli
                 | `Optexp -> Po.Optexp.policy job
                 | `Dp_next_failure -> Po.Dp_policies.dp_next_failure job
               in
-              S.Evaluation.average_makespan ~scenario ~policy ~replicates
-              |> Option.map (fun m -> (processors, m)))
+              S.Evaluation.makespan_profile ~scenario ~policy ~replicates
+              |> Option.map (fun (m, profile) -> (processors, m, profile)))
             counts
         in
+        let points = List.map (fun (p, m, _) -> (p, m)) evaluated in
+        let profiles = List.map (fun (p, _, profile) -> (p, profile)) evaluated in
         let best_processors =
           match points with
           | [] -> 0
@@ -54,7 +57,8 @@ let run ?(config = Config.default ()) ?processor_counts ~preset ~dist_kind ~poli
               fst (List.fold_left (fun (bp, bm) (p, m) -> if m < bm then (p, m) else (bp, bm))
                      (p0, m0) rest)
         in
-        { workload_name = P.Workload.model_name workload_model; points; best_processors })
+        { workload_name = P.Workload.model_name workload_model; points; profiles;
+          best_processors })
       (P.Workload.all_paper_models ())
   in
   let policy_name = match policy_kind with `Optexp -> "OptExp" | `Dp_next_failure -> "DPNextFailure" in
@@ -88,6 +92,49 @@ let print t ~csv =
   List.iter
     (fun c -> Printf.printf "best enrollment for %s: %d processors\n" c.workload_name c.best_processors)
     t.curves;
-  Report.write_csv
-    ~path:(Filename.concat (Report.results_dir ()) csv)
-    (Report.csv_of_series ~x_label:"processors" series)
+  (* The leading columns replicate [Report.csv_of_series] byte for
+     byte (makespan in days per workload); the waste-profile block
+     appends per workload, in seconds as everywhere else. *)
+  let contents =
+    let buf = Buffer.create 4096 in
+    let xs =
+      List.concat_map (fun s -> List.map fst s.Report.points) series
+      |> List.sort_uniq compare
+    in
+    let lookup s x =
+      match List.assoc_opt x s.Report.points with Some v -> v | None -> nan
+    in
+    Buffer.add_string buf "processors";
+    List.iter (fun s -> Buffer.add_string buf ("," ^ s.Report.label)) series;
+    List.iter
+      (fun c ->
+        List.iter
+          (fun col -> Buffer.add_string buf (Printf.sprintf ",%s_%s" c.workload_name col))
+          Report.profile_columns)
+      t.curves;
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun x ->
+        Buffer.add_string buf (Printf.sprintf "%g" x);
+        List.iter
+          (fun s ->
+            let v = lookup s x in
+            Buffer.add_string buf (if Float.is_nan v then "," else Printf.sprintf ",%g" v))
+          series;
+        List.iter
+          (fun c ->
+            let profile =
+              List.find_map
+                (fun (p, profile) ->
+                  if float_of_int p = x then Some profile else None)
+                c.profiles
+            in
+            List.iter
+              (fun cell -> Buffer.add_string buf ("," ^ cell))
+              (Report.profile_values profile))
+          t.curves;
+        Buffer.add_char buf '\n')
+      xs;
+    Buffer.contents buf
+  in
+  Report.write_csv ~path:(Filename.concat (Report.results_dir ()) csv) contents

@@ -9,6 +9,8 @@
 type curve = {
   workload_name : string;
   points : (int * float) list;  (** (processors, average makespan s) *)
+  profiles : (int * Ckpt_simulator.Evaluation.waste_profile) list;
+      (** waste decomposition at each point, same keys as [points]. *)
   best_processors : int;  (** argmin of the curve *)
 }
 

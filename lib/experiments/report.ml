@@ -77,26 +77,115 @@ let csv_of_series ~x_label series =
     (abscissas series);
   Buffer.contents buf
 
+(* -- waste-profile columns ---------------------------------------------------
+
+   The distributional columns appended to every study CSV.  The order
+   is fixed and shared between [csv_of_table] (one policy per row) and
+   [csv_of_tables] (one abscissa per row, policies across): renderers
+   and tests key on these names.  Cells print with [%.10g] — enough
+   digits that [useful_s + checkpoint_s + wasted_s + recovery_s +
+   stall_s] re-sums to [mk_mean_s] within the engine's accounting
+   tolerance from the CSV text alone.  Non-finite values (no runs, or
+   an interval with fewer than two runs) leave the cell empty, the
+   same convention as the mean columns. *)
+
+let profile_columns =
+  [
+    "mk_mean_s"; "mk_ci95_s"; "mk_p50_s"; "mk_p95_s"; "mk_p99_s"; "deg_ci95";
+    "useful_s"; "checkpoint_s"; "wasted_s"; "recovery_s"; "stall_s";
+    "useful_frac"; "checkpoint_frac"; "wasted_frac"; "recovery_frac";
+    "stall_frac";
+  ]
+
+let profile_values profile =
+  let open Ckpt_simulator.Evaluation in
+  match profile with
+  | None -> List.map (fun _ -> "") profile_columns
+  | Some p ->
+      let cell v = if Float.is_finite v then Printf.sprintf "%.10g" v else "" in
+      List.map cell
+        [
+          p.mk_mean; p.mk_ci95; p.mk_p50; p.mk_p95; p.mk_p99; p.deg_ci95;
+          p.useful_s; p.checkpoint_s; p.wasted_s; p.recovery_s; p.stall_s;
+          p.useful_frac; p.checkpoint_frac; p.wasted_frac; p.recovery_frac;
+          p.stall_frac;
+        ]
+
+let append_cells buf cells = List.iter (fun c -> Buffer.add_string buf ("," ^ c)) cells
+
 let csv_of_table table =
   let open Ckpt_simulator in
   let buf = Buffer.create 512 in
   Buffer.add_string buf
-    "policy,avg_degradation,std_degradation,avg_makespan_s,successes,avg_failures,max_failures\n";
+    "policy,avg_degradation,std_degradation,avg_makespan_s,successes,avg_failures,max_failures";
+  List.iter (fun c -> Buffer.add_string buf ("," ^ c)) profile_columns;
+  Buffer.add_char buf '\n';
   (* Undefined cells (policy never completed, or a single run with no
      defined deviation) stay empty, as in [csv_of_series]. *)
   let cell v = if Float.is_nan v then "" else Printf.sprintf "%g" v in
   let row (r : Evaluation.policy_result) =
     Buffer.add_string buf
-      (Printf.sprintf "%s,%s,%s,%s,%d,%s,%d\n" r.Evaluation.policy_name
+      (Printf.sprintf "%s,%s,%s,%s,%d,%s,%d" r.Evaluation.policy_name
          (cell r.Evaluation.average_degradation)
          (cell r.Evaluation.std_degradation)
          (cell r.Evaluation.average_makespan)
          r.Evaluation.successes
          (cell r.Evaluation.average_failures)
-         r.Evaluation.max_failures)
+         r.Evaluation.max_failures);
+    append_cells buf (profile_values r.Evaluation.profile);
+    Buffer.add_char buf '\n'
   in
   row table.Evaluation.lower_bound;
   List.iter row table.Evaluation.results;
+  Buffer.contents buf
+
+let result_of_table name (table : Ckpt_simulator.Evaluation.table) =
+  let open Ckpt_simulator in
+  if name = "LowerBound" then Some table.Evaluation.lower_bound
+  else
+    List.find_opt (fun r -> r.Evaluation.policy_name = name) table.Evaluation.results
+
+let csv_of_tables ~x_label tables =
+  let open Ckpt_simulator in
+  let series = degradation_series tables in
+  let names = List.map (fun s -> s.label) series in
+  let buf = Buffer.create 4096 in
+  (* The leading columns — header names, row values, formatting — are
+     byte-identical to [csv_of_series ~x_label (degradation_series
+     tables)]: downstream consumers of the pre-profile CSVs keep
+     parsing unchanged, the distributional columns only append. *)
+  Buffer.add_string buf x_label;
+  List.iter (fun n -> Buffer.add_string buf ("," ^ n)) names;
+  List.iter
+    (fun n ->
+      List.iter
+        (fun c -> Buffer.add_string buf (Printf.sprintf ",%s_%s" n c))
+        profile_columns)
+    names;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun x ->
+      Buffer.add_string buf (Printf.sprintf "%g" x);
+      List.iter
+        (fun s ->
+          let v = lookup s x in
+          Buffer.add_string buf (if Float.is_nan v then "," else Printf.sprintf ",%g" v))
+        series;
+      let table = List.assoc_opt x tables in
+      List.iter
+        (fun n ->
+          let profile =
+            match table with
+            | None -> None
+            | Some t -> (
+                match result_of_table n t with
+                | Some r -> r.Evaluation.profile
+                | None -> None)
+          in
+          append_cells buf (profile_values profile))
+        names;
+      Buffer.add_char buf '\n')
+    (abscissas series);
   Buffer.contents buf
 
 let results_dir () =

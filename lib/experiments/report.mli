@@ -22,9 +22,30 @@ val degradation_series :
 
 val csv_of_series : x_label:string -> series list -> string
 
+val profile_columns : string list
+(** Column names of the distributional waste-profile block appended to
+    study CSVs, in emission order: mean/CI/quantile makespans, the
+    degradation CI, waste decomposition in mean seconds and as
+    fractions of the mean makespan
+    ({!Ckpt_simulator.Evaluation.waste_profile}). *)
+
+val profile_values : Ckpt_simulator.Evaluation.waste_profile option -> string list
+(** Rendered cells matching {!profile_columns}: [%.10g] for finite
+    values, the empty string for non-finite ones (NaN/inf) or a
+    [None] profile — no CSV cell ever reads "nan". *)
+
 val csv_of_table : Ckpt_simulator.Evaluation.table -> string
 (** One row per policy (LowerBound first): name, average degradation,
-    standard deviation, average makespan, successes, failure stats. *)
+    standard deviation, average makespan, successes, failure stats,
+    then the {!profile_columns} block. *)
+
+val csv_of_tables :
+  x_label:string -> (float * Ckpt_simulator.Evaluation.table) list -> string
+(** Sweep CSV: the leading columns are byte-identical to
+    [csv_of_series ~x_label (degradation_series tables)] (one row per
+    abscissa, one degradation column per policy), followed by the
+    {!profile_columns} block per policy, columns named
+    ["<policy>_<column>"]. *)
 
 val write_csv : ?meta:(string * string) list -> path:string -> string -> unit
 (** Atomically write the contents ({!Ckpt_store.Atomic_file.write}:

@@ -76,10 +76,8 @@ let run ?(config = Config.default ()) ?(experiment = "scaling")
 
 let print t ~csv =
   Report.print_header t.title;
-  let series =
-    Report.degradation_series
-      (List.map (fun pt -> (float_of_int pt.processors, pt.table)) t.points)
-  in
+  let tables = List.map (fun pt -> (float_of_int pt.processors, pt.table)) t.points in
+  let series = Report.degradation_series tables in
   Report.print_series ~x_label:"processors" ~y_label:"average makespan degradation" series;
   if List.exists (fun s -> List.length s.Report.points > 1) series then
     Ascii_plot.print
@@ -88,7 +86,7 @@ let print t ~csv =
   Report.write_csv
     ~meta:[ ("experiment", t.title) ]
     ~path:(Filename.concat (Report.results_dir ()) csv)
-    (Report.csv_of_series ~x_label:"processors" series)
+    (Report.csv_of_tables ~x_label:"processors" tables)
 
 let figure2 ?(config = Config.default ()) () =
   run ~config ~preset:(P.Presets.petascale ()) ~dist_kind:Setup.Exponential ()

@@ -50,9 +50,8 @@ let print ?(config = Config.default ()) () =
   Report.print_header
     "Figure 5: degradation vs Weibull shape k (45,208 processors, MTBF 125 y)";
   let t = run ~config () in
-  let series =
-    Report.degradation_series (List.map (fun pt -> (pt.shape, pt.table)) t.points)
-  in
+  let tables = List.map (fun pt -> (pt.shape, pt.table)) t.points in
+  let series = Report.degradation_series tables in
   Report.print_series ~x_label:"shape k" ~y_label:"average makespan degradation" series;
   if List.exists (fun s -> List.length s.Report.points > 1) series then
     Ascii_plot.print
@@ -60,4 +59,4 @@ let print ?(config = Config.default ()) () =
       series;
   Report.write_csv
     ~path:(Filename.concat (Report.results_dir ()) "fig5_shape.csv")
-    (Report.csv_of_series ~x_label:"shape" series)
+    (Report.csv_of_tables ~x_label:"shape" tables)

@@ -17,9 +17,15 @@ type t = {
   q90 : float;
   q99 : float;
   suggested_spares : int;  (** ceiling of the 99th percentile. *)
+  profile : Ckpt_simulator.Evaluation.waste_profile option;
+      (** waste decomposition of the completed runs ([None] if none
+          completed); [deg_ci95] is [nan] (single policy). *)
 }
 
 val run : ?config:Config.t -> ?processors:int -> unit -> t
 (** DPNextFailure on the Petascale Weibull scenario. *)
 
 val print : ?config:Config.t -> unit -> unit
+(** Prints the sizing summary and writes [spares.csv] (failure
+    quantiles plus the {!Report.profile_columns} block) under
+    {!Report.results_dir}. *)

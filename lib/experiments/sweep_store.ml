@@ -194,6 +194,89 @@ let decode_floats payload =
           end)
   | _ -> None
 
+let vectors_format = "ckpt-vectors/1"
+
+let encode_vectors rows =
+  let buf = Buffer.create 256 in
+  let width = if Array.length rows = 0 then 0 else Array.length rows.(0) in
+  Buffer.add_string buf
+    (Printf.sprintf "%s %d %d\n" vectors_format (Array.length rows) width);
+  Array.iter
+    (fun row ->
+      Array.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ' ';
+          Buffer.add_string buf (hex x))
+        row;
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let decode_vectors payload =
+  match String.split_on_char '\n' payload with
+  | hd :: rest when String.starts_with ~prefix:(vectors_format ^ " ") hd -> (
+      match String.split_on_char ' ' hd with
+      | [ _; n; w ] -> (
+          match (int_of_string_opt n, int_of_string_opt w) with
+          | Some n, Some w ->
+              let rest = List.filter (fun l -> String.trim l <> "") rest in
+              if List.length rest <> n then None
+              else begin
+                let parse line =
+                  let cells =
+                    String.split_on_char ' ' line |> List.filter (fun c -> c <> "")
+                  in
+                  if List.length cells <> w then None
+                  else begin
+                    let vals = List.map float_of_string_opt cells in
+                    if List.exists Option.is_none vals then None
+                    else Some (Array.of_list (List.map Option.get vals))
+                  end
+                in
+                let rows = List.map parse rest in
+                if List.exists Option.is_none rows then None
+                else Some (Array.of_list (List.map Option.get rows))
+              end
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+let vectors ?store ?(params = []) ~experiment ~scenario ~replicates ~width ~f () =
+  if replicates <= 0 then invalid_arg "Sweep_store.vectors: replicates must be positive";
+  if width <= 0 then invalid_arg "Sweep_store.vectors: width must be positive";
+  let sz = Evaluation.stripe_size () in
+  let stripe_arrays =
+    Domain_pool.parallel_init (Evaluation.stripe_count ~replicates) (fun stripe ->
+        let first = stripe * sz in
+        let len = min sz (replicates - first) in
+        let compute () =
+          Domain_pool.parallel_init len (fun i ->
+              let row = f (first + i) in
+              if Array.length row <> width then
+                invalid_arg "Sweep_store.vectors: row width mismatch";
+              row)
+        in
+        match store with
+        | None -> compute ()
+        | Some store ->
+            let fields =
+              fingerprint ~kind:"vectors" ~experiment ~scenario ~policy_names:[]
+                ~replicates
+                ~params:(("width", string_of_int width) :: params)
+            in
+            let digest = digest_of fields in
+            let path = unit_path store ~experiment ~digest ~stripe in
+            let decode payload =
+              match decode_vectors payload with
+              | Some rows when Array.for_all (fun r -> Array.length r = width) rows ->
+                  Some rows
+              | _ -> None
+            in
+            load_or_compute ~path ~digest ~stripe ~fields ~decode
+              ~encode:encode_vectors compute)
+  in
+  Array.concat (Array.to_list stripe_arrays)
+
 let floats ?store ?(params = []) ~experiment ~scenario ~replicates ~f () =
   if replicates <= 0 then invalid_arg "Sweep_store.floats: replicates must be positive";
   let sz = Evaluation.stripe_size () in

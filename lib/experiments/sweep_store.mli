@@ -70,6 +70,25 @@ val floats :
   float array
 (** [Array.init replicates f] evaluated stripe-parallel and, with a
     [store], checkpointed per stripe — for studies whose unit of work
-    is a per-replicate scalar rather than a policy table (e.g.
-    {!Spares}).  [f] must be a pure function of the replicate index
-    (plus the scenario, which keys the store). *)
+    is a per-replicate scalar rather than a policy table.  [f] must be
+    a pure function of the replicate index (plus the scenario, which
+    keys the store). *)
+
+val vectors :
+  ?store:t ->
+  ?params:(string * string) list ->
+  experiment:string ->
+  scenario:Ckpt_simulator.Scenario.t ->
+  replicates:int ->
+  width:int ->
+  f:(int -> float array) ->
+  unit ->
+  float array array
+(** Like {!floats} but each replicate yields a fixed-width row of
+    floats (e.g. a waste decomposition, {!Spares}); [width] is folded
+    into the unit key and every row — computed or loaded — is checked
+    against it.  Rows round-trip the store bit-exactly (hex floats;
+    NaN/inf cells included, so a row of NaNs can mark a failed
+    replicate).
+    @raise Invalid_argument if [replicates <= 0], [width <= 0], or [f]
+    returns a row of a different width. *)

@@ -75,6 +75,155 @@ let mean_confidence_interval ?(confidence = 0.95) t =
     (t.mean -. half, t.mean +. half)
   end
 
+(* Component-wise distributional accumulator over fixed-dimension
+   observations (the engine's waste decomposition).  Moments come from
+   exact superaccumulators and histograms from integer buckets, so —
+   unlike the scalar Chan/Welford combine above — [Vector.merge] is
+   exactly commutative and associative: the stripe reduce produces
+   bit-identical vectors whatever the tree shape. *)
+module Vector = struct
+  type component = {
+    sum : Exact_sum.t;
+    sumsq : Exact_sum.t;
+    c_min : float;
+    c_max : float;
+    hist : Log_hist.t;
+  }
+
+  type nonrec t = { obs : int; comps : component array }
+
+  let empty_component =
+    { sum = Exact_sum.zero; sumsq = Exact_sum.zero; c_min = infinity; c_max = neg_infinity;
+      hist = Log_hist.empty }
+
+  let create ~dim =
+    if dim < 1 then invalid_arg "Summary.Vector.create: dim < 1";
+    { obs = 0; comps = Array.make dim empty_component }
+
+  let dim t = Array.length t.comps
+  let count t = t.obs
+
+  let add t xs =
+    if Array.length xs <> dim t then invalid_arg "Summary.Vector.add: dimension mismatch";
+    Array.iter
+      (fun x ->
+        if not (Float.is_finite x) then invalid_arg "Summary.Vector.add: non-finite component")
+      xs;
+    {
+      obs = t.obs + 1;
+      comps =
+        Array.mapi
+          (fun i c ->
+            let x = xs.(i) in
+            {
+              sum = Exact_sum.add c.sum x;
+              sumsq = Exact_sum.add_sq c.sumsq x;
+              c_min = Float.min c.c_min x;
+              c_max = Float.max c.c_max x;
+              hist = Log_hist.add c.hist x;
+            })
+          t.comps;
+    }
+
+  let merge a b =
+    if dim a <> dim b then invalid_arg "Summary.Vector.merge: dimension mismatch";
+    {
+      obs = a.obs + b.obs;
+      comps =
+        Array.map2
+          (fun ca cb ->
+            {
+              sum = Exact_sum.merge ca.sum cb.sum;
+              sumsq = Exact_sum.merge ca.sumsq cb.sumsq;
+              c_min = Float.min ca.c_min cb.c_min;
+              c_max = Float.max ca.c_max cb.c_max;
+              hist = Log_hist.merge ca.hist cb.hist;
+            })
+          a.comps b.comps;
+    }
+
+  let comp t i =
+    if i < 0 || i >= dim t then invalid_arg "Summary.Vector: component index out of range";
+    t.comps.(i)
+
+  let mean t i =
+    let c = comp t i in
+    if t.obs = 0 then nan else Exact_sum.total c.sum /. float_of_int t.obs
+
+  let variance t i =
+    let c = comp t i in
+    if t.obs < 2 then nan
+    else begin
+      let n = float_of_int t.obs in
+      let s = Exact_sum.total c.sum in
+      (* sumsq - sum^2/n can round slightly negative when the spread is
+         tiny relative to the mean; clamp so std stays real. *)
+      Float.max 0. ((Exact_sum.total c.sumsq -. (s *. s /. n)) /. (n -. 1.))
+    end
+
+  let std t i = sqrt (variance t i)
+
+  let min_value t i = if t.obs = 0 then nan else (comp t i).c_min
+  let max_value t i = if t.obs = 0 then nan else (comp t i).c_max
+  let quantile t i p = Log_hist.quantile (comp t i).hist p
+
+  let ci_half_width ?(confidence = 0.95) t i =
+    if confidence <= 0. || confidence >= 1. then
+      invalid_arg "Summary.Vector.ci_half_width: confidence outside (0, 1)";
+    if t.obs < 2 then nan
+    else
+      Special.normal_quantile (0.5 +. (confidence /. 2.))
+      *. std t i /. sqrt (float_of_int t.obs)
+
+  let to_tokens t =
+    string_of_int (dim t) :: string_of_int t.obs
+    :: List.concat_map
+         (fun c ->
+           (Printf.sprintf "%h" c.c_min :: Printf.sprintf "%h" c.c_max
+           :: Exact_sum.to_tokens c.sum)
+           @ Exact_sum.to_tokens c.sumsq @ Log_hist.to_tokens c.hist)
+         (Array.to_list t.comps)
+
+  let of_tokens = function
+    | d :: obs :: rest -> (
+        match (int_of_string_opt d, int_of_string_opt obs) with
+        | Some d, Some obs when d >= 1 && obs >= 0 ->
+            let rec take n acc rest =
+              if n = 0 then Some ({ obs; comps = Array.of_list (List.rev acc) }, rest)
+              else
+                match rest with
+                | c_min :: c_max :: rest -> (
+                    match (float_of_string_opt c_min, float_of_string_opt c_max) with
+                    | Some c_min, Some c_max -> (
+                        match Exact_sum.of_tokens rest with
+                        | Some (sum, rest) -> (
+                            match Exact_sum.of_tokens rest with
+                            | Some (sumsq, rest) -> (
+                                match Log_hist.of_tokens rest with
+                                | Some (hist, rest) ->
+                                    take (n - 1)
+                                      ({ sum; sumsq; c_min; c_max; hist } :: acc)
+                                      rest
+                                | None -> None)
+                            | None -> None)
+                        | None -> None)
+                    | _ -> None)
+                | _ -> None
+            in
+            take d [] rest
+        | _ -> None)
+    | _ -> None
+
+  let serialize t = String.concat " " (to_tokens t)
+
+  let deserialize s =
+    match of_tokens (String.split_on_char ' ' (String.trim s)) with
+    | Some (t, []) -> Some t
+    | _ -> None
+
+  let equal a b = serialize a = serialize b
+end
+
 let quantile data p =
   let n = Array.length data in
   if n = 0 then invalid_arg "Summary.quantile: empty data";

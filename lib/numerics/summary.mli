@@ -47,6 +47,67 @@ val mean_confidence_interval : ?confidence:float -> t -> float * float
     observations.
     @raise Invalid_argument if [confidence] is outside (0, 1). *)
 
+(** Component-wise distributional accumulator over fixed-dimension
+    observations — the engine's waste decomposition threaded through
+    the evaluation reduce.  Per component it tracks exact sums and
+    sums of squares ({!Exact_sum}), exact min/max, and a log-scale
+    histogram ({!Log_hist}) for quantile estimates.  Unlike the scalar
+    Chan/Welford {!merge} above, [Vector.merge] is exactly commutative
+    and associative, so stripe width and scheduler choice cannot
+    perturb a single bit of the reduced vector. *)
+module Vector : sig
+  type t
+
+  val create : dim:int -> t
+  (** Fresh accumulator for [dim]-component observations.
+      @raise Invalid_argument if [dim < 1]. *)
+
+  val dim : t -> int
+  val count : t -> int
+
+  val add : t -> float array -> t
+  (** Record one observation.
+      @raise Invalid_argument on dimension mismatch or any non-finite
+      component (a non-finite metric would mean the engine's accounting
+      identity already failed — refuse loudly rather than poison the
+      table). *)
+
+  val merge : t -> t -> t
+  (** Exact: commutative and associative at the bit level.
+      @raise Invalid_argument on dimension mismatch. *)
+
+  val mean : t -> int -> float
+  (** Mean of component [i], from the exact sum; [nan] when empty. *)
+
+  val variance : t -> int -> float
+  (** Unbiased sample variance of component [i]; [nan] below two
+      observations. *)
+
+  val std : t -> int -> float
+  val min_value : t -> int -> float
+  val max_value : t -> int -> float
+
+  val quantile : t -> int -> float -> float
+  (** Histogram-estimated [p]-quantile of component [i] (geometric
+      bucket midpoint clamped into the observed range); [nan] when
+      empty. *)
+
+  val ci_half_width : ?confidence:float -> t -> int -> float
+  (** Normal-approximation half-width [z * std / sqrt n] for the mean
+      of component [i]; [nan] below two observations.
+      @raise Invalid_argument if [confidence] is outside (0, 1). *)
+
+  val to_tokens : t -> string list
+  val of_tokens : string list -> (t * string list) option
+
+  val serialize : t -> string
+  (** One line, whitespace-separated, floats in [%h] notation:
+      {!deserialize} reproduces the accumulator bit for bit. *)
+
+  val deserialize : string -> t option
+  val equal : t -> t -> bool
+end
+
 val quantile : float array -> float -> float
 (** [quantile data p] is the [p]-quantile ([0 <= p <= 1]) with linear
     interpolation between order statistics.  [data] need not be sorted;

@@ -1,0 +1,73 @@
+module Distribution = Ckpt_distributions.Distribution
+module Age_summary = Ckpt_core.Age_summary
+module Quadrature = Ckpt_numerics.Quadrature
+
+type t = {
+  hazard : float;
+  expected_ttf : float;
+  window : float;
+  commit_probability : float;
+  expected_loss : float;
+}
+
+(* Fold a function of (age, multiplicity) over the summarized
+   platform: the exact ages carry weight 1, each reference age its
+   mapped processor count. *)
+let fold_ages (s : Age_summary.t) f init =
+  let acc = ref (Array.fold_left (fun acc tau -> f acc tau 1) init s.Age_summary.exact) in
+  Array.iteri
+    (fun i r -> acc := f !acc r s.Age_summary.counts.(i))
+    s.Age_summary.references;
+  !acc
+
+let platform_hazard dist s =
+  fold_ages s
+    (fun acc tau n -> acc +. (float_of_int n *. Distribution.hazard dist tau))
+    0.
+
+let expected_time_to_failure dist s =
+  (* E[min_j residual_j] = Int_0^inf Psuc(e) de, with Psuc through the
+     same log-survival shift the DP uses. *)
+  let shift = Age_summary.shift_evaluator dist s in
+  Quadrature.integrate_to_infinity ~f:(fun e -> exp (-.shift e)) ~lo:0. ()
+
+let commit_probability dist s ~window =
+  Age_summary.psuc dist s ~elapsed:0. ~duration:window
+
+let expected_loss dist s ~window =
+  (* E[T | T < window] for the platform's time-to-failure T:
+     (Int_0^w S - w S(w)) / (1 - S(w)), integrating the survival
+     rather than t f(t) so no density of the minimum is needed. *)
+  if window <= 0. then nan
+  else begin
+    let shift = Age_summary.shift_evaluator dist s in
+    let survival e = exp (-.shift e) in
+    let s_w = survival window in
+    let p_fail = -.Float.expm1 (-.shift window) in
+    if p_fail <= 0. then nan
+    else begin
+      let mass =
+        Quadrature.adaptive_simpson ~f:survival ~lo:0. ~hi:window ()
+        -. (window *. s_w)
+      in
+      mass /. p_fail
+    end
+  end
+
+let of_summary dist s ~window =
+  {
+    hazard = platform_hazard dist s;
+    expected_ttf = expected_time_to_failure dist s;
+    window;
+    commit_probability = commit_probability dist s ~window;
+    expected_loss = expected_loss dist s ~window;
+  }
+
+let of_observation ?(nexact = Age_summary.default_nexact)
+    ?(napprox = Age_summary.default_napprox) dist (obs : Policy.observation) ~window =
+  of_summary dist (obs.Policy.summarize ~nexact ~napprox dist) ~window
+
+let pp fmt t =
+  Format.fprintf fmt
+    "hazard %.3e/s, E[next failure] %.4g s, P(commit %.4g s) = %.4f, E[lost | failure] %.4g s"
+    t.hazard t.expected_ttf t.window t.commit_probability t.expected_loss

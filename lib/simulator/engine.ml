@@ -19,6 +19,29 @@ type metrics = {
 
 type outcome = Completed of metrics | Policy_failed of { at_time : float; remaining : float }
 
+exception Accounting_violation of string
+
+(* Every advance of the simulated clock is matched by an accumulator
+   add of the same computed quantity, so the waste decomposition
+   partitions the makespan by construction — up to one rounding per
+   float operation.  The residual is checked on every completed run
+   against a tolerance of one ulp (at the clock's magnitude) per
+   accounting operation: at most ~4 roundings per committed chunk
+   (chunk and checkpoint additions on both the clock and accumulator
+   sides) and ~8 per failure (waste, downtime, recovery, cascades),
+   doubled for headroom.  A residual beyond that means time was
+   mis-attributed, not rounded. *)
+let accounting_components m =
+  m.useful_work +. m.checkpoint_time +. m.wasted_time +. m.recovery_time +. m.stall_time
+
+let accounting_residual m = Float.abs (m.makespan -. accounting_components m)
+
+let accounting_tolerance ?clock m =
+  let clock = match clock with Some c -> c | None -> m.makespan in
+  let scale = Float.max 1. (Float.max (Float.abs clock) (Float.abs m.makespan)) in
+  let ulp = Float.succ scale -. scale in
+  float_of_int ((8 * (m.chunks + m.failures)) + 64) *. ulp
+
 (* Mutable execution state shared by the policy-driven run and the
    omniscient lower bound. *)
 type state = {
@@ -145,7 +168,8 @@ let handle_failure st ~date ~proc ~r =
     match peek_effective_failure st ~before:(ready +. r) with
     | None ->
         (match st.trace with
-        | Some b -> Tracer.emit b (Tracer.Recovery_complete { t0 = ready; t1 = ready +. r })
+        | Some b ->
+            Tracer.emit b (Tracer.Recovery_complete { t0 = ready; t1 = ready +. r; cost = r })
         | None -> ());
         st.recovery_time <- st.recovery_time +. r;
         st.now <- ready +. r
@@ -169,18 +193,30 @@ let handle_failure st ~date ~proc ~r =
   recover ready
 
 let metrics_of st =
-  {
-    makespan = st.now -. st.start_time;
-    useful_work = st.useful_work;
-    checkpoint_time = st.checkpoint_time;
-    wasted_time = st.wasted_time;
-    recovery_time = st.recovery_time;
-    stall_time = st.stall_time;
-    failures = st.failures;
-    chunks = st.chunks;
-    min_chunk = st.min_chunk;
-    max_chunk = st.max_chunk;
-  }
+  let m =
+    {
+      makespan = st.now -. st.start_time;
+      useful_work = st.useful_work;
+      checkpoint_time = st.checkpoint_time;
+      wasted_time = st.wasted_time;
+      recovery_time = st.recovery_time;
+      stall_time = st.stall_time;
+      failures = st.failures;
+      chunks = st.chunks;
+      min_chunk = st.min_chunk;
+      max_chunk = st.max_chunk;
+    }
+  in
+  let residual = accounting_residual m and tol = accounting_tolerance ~clock:st.now m in
+  if not (residual <= tol) then
+    raise
+      (Accounting_violation
+         (Printf.sprintf
+            "makespan %.17g != useful %.17g + checkpoint %.17g + wasted %.17g + recovery %.17g \
+             + stall %.17g (residual %.3g, tolerance %.3g, %d chunks, %d failures)"
+            m.makespan m.useful_work m.checkpoint_time m.wasted_time m.recovery_time
+            m.stall_time residual tol m.chunks m.failures));
+  m
 
 let record_chunk st chunk =
   st.chunks <- st.chunks + 1;
@@ -255,7 +291,7 @@ let run_internal ~trace ~cost_profile ~scenario ~traces ~policy =
               | Some b ->
                   Tracer.emit b
                     (Tracer.Chunk_commit { t0 = st.now; t1 = st.now +. chunk; work = chunk });
-                  Tracer.emit b (Tracer.Checkpoint { t0 = st.now +. chunk; t1 = finish })
+                  Tracer.emit b (Tracer.Checkpoint { t0 = st.now +. chunk; t1 = finish; cost = c })
               | None -> ());
               st.now <- finish;
               st.remaining <- st.remaining -. chunk;
@@ -277,7 +313,7 @@ let lower_bound_internal ~trace ~scenario ~traces =
     match st.trace with
     | Some b ->
         Tracer.emit b (Tracer.Chunk_commit { t0; t1 = t0 +. chunk; work = chunk });
-        Tracer.emit b (Tracer.Checkpoint { t0 = t0 +. chunk; t1 = t0 +. chunk +. c })
+        Tracer.emit b (Tracer.Checkpoint { t0 = t0 +. chunk; t1 = t0 +. chunk +. c; cost = c })
     | None -> ()
   in
   while st.remaining > work_epsilon do

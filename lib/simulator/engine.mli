@@ -38,6 +38,26 @@ type outcome =
   | Policy_failed of { at_time : float; remaining : float }
       (** the policy returned [None] (could not compute a chunk). *)
 
+exception Accounting_violation of string
+(** Raised by every entry point below if a completed run's waste
+    decomposition does not partition its makespan:
+    [makespan = useful + checkpoint + wasted + recovery + stall]
+    within {!accounting_tolerance}.  The identity holds by
+    construction — every clock advance is matched by an accumulator
+    add of the same operands — so a violation means time was
+    mis-attributed, and it fails loudly rather than skewing tables. *)
+
+val accounting_residual : metrics -> float
+(** [|makespan - (useful + checkpoint + wasted + recovery + stall)|]. *)
+
+val accounting_tolerance : ?clock:float -> metrics -> float
+(** Ulp-scaled bound on the residual attributable to floating-point
+    rounding alone: one ulp at the clock's magnitude per accounting
+    operation (~4 per committed chunk, ~8 per failure, doubled for
+    headroom).  [clock] is the absolute simulated end time, whose
+    magnitude sets the ulp when the scenario starts late (defaults to
+    [makespan]). *)
+
 val run :
   scenario:Scenario.t ->
   traces:Ckpt_failures.Trace_set.t ->

@@ -14,6 +14,48 @@ let trace_gen_seconds = Metrics.histogram "eval/trace_gen_seconds"
 let replicates_run = Metrics.counter "eval/replicates"
 let unusable_replicates = Metrics.counter "eval/unusable_replicates"
 
+(* Simulated waste decomposition of every completed run, one histogram
+   per component (seconds of simulated time); fills under
+   CKPT_METRICS=1 and shows up in `ckpt stats` and the OpenMetrics
+   textfile. *)
+let makespan_sim_seconds = Metrics.histogram "eval/makespan_sim_seconds"
+let useful_sim_seconds = Metrics.histogram "eval/useful_sim_seconds"
+let checkpoint_sim_seconds = Metrics.histogram "eval/checkpoint_sim_seconds"
+let wasted_sim_seconds = Metrics.histogram "eval/wasted_sim_seconds"
+let recovery_sim_seconds = Metrics.histogram "eval/recovery_sim_seconds"
+let stall_sim_seconds = Metrics.histogram "eval/stall_sim_seconds"
+
+(* Component layout of the distributional accumulator
+   (Summary.Vector): the engine's waste decomposition plus the
+   per-replicate degradation. *)
+let comp_makespan = 0
+let comp_useful = 1
+let comp_checkpoint = 2
+let comp_wasted = 3
+let comp_recovery = 4
+let comp_stall = 5
+let comp_degradation = 6
+let profile_dim = 7
+
+type waste_profile = {
+  mk_p50 : float;
+  mk_p95 : float;
+  mk_p99 : float;
+  mk_mean : float;
+  mk_ci95 : float;
+  deg_ci95 : float;
+  useful_s : float;
+  checkpoint_s : float;
+  wasted_s : float;
+  recovery_s : float;
+  stall_s : float;
+  useful_frac : float;
+  checkpoint_frac : float;
+  wasted_frac : float;
+  recovery_frac : float;
+  stall_frac : float;
+}
+
 type policy_result = {
   policy_name : string;
   average_degradation : float;
@@ -25,6 +67,7 @@ type policy_result = {
   average_chunks : float;
   min_chunk : float;
   max_chunk : float;
+  profile : waste_profile option;  (* None when no run completed *)
 }
 
 type table = {
@@ -42,6 +85,11 @@ type accumulator = {
   mutable worst_failures : int;
   mutable smallest_chunk : float;
   mutable largest_chunk : float;
+  mutable profile : Summary.Vector.t;
+      (* exact distributional view of the waste decomposition; merges
+         bit-identically whatever the reduction tree, unlike the
+         Welford summaries above (which stay the source of the
+         original mean/std columns). *)
 }
 
 let fresh_accumulator () =
@@ -53,7 +101,19 @@ let fresh_accumulator () =
     worst_failures = 0;
     smallest_chunk = infinity;
     largest_chunk = 0.;
+    profile = Summary.Vector.create ~dim:profile_dim;
   }
+
+let observation_of_metrics ~degradation (m : Engine.metrics) =
+  let obs = Array.make profile_dim 0. in
+  obs.(comp_makespan) <- m.Engine.makespan;
+  obs.(comp_useful) <- m.Engine.useful_work;
+  obs.(comp_checkpoint) <- m.Engine.checkpoint_time;
+  obs.(comp_wasted) <- m.Engine.wasted_time;
+  obs.(comp_recovery) <- m.Engine.recovery_time;
+  obs.(comp_stall) <- m.Engine.stall_time;
+  obs.(comp_degradation) <- degradation;
+  obs
 
 let record acc ~degradation (m : Engine.metrics) =
   acc.degradation <- Summary.add acc.degradation degradation;
@@ -64,7 +124,14 @@ let record acc ~degradation (m : Engine.metrics) =
   if m.Engine.chunks > 0 then begin
     acc.smallest_chunk <- Float.min acc.smallest_chunk m.Engine.min_chunk;
     acc.largest_chunk <- Float.max acc.largest_chunk m.Engine.max_chunk
-  end
+  end;
+  acc.profile <- Summary.Vector.add acc.profile (observation_of_metrics ~degradation m);
+  Metrics.observe makespan_sim_seconds m.Engine.makespan;
+  Metrics.observe useful_sim_seconds m.Engine.useful_work;
+  Metrics.observe checkpoint_sim_seconds m.Engine.checkpoint_time;
+  Metrics.observe wasted_sim_seconds m.Engine.wasted_time;
+  Metrics.observe recovery_sim_seconds m.Engine.recovery_time;
+  Metrics.observe stall_sim_seconds m.Engine.stall_time
 
 let merge_into acc other =
   acc.degradation <- Summary.merge acc.degradation other.degradation;
@@ -73,7 +140,35 @@ let merge_into acc other =
   acc.chunk_counts <- Summary.merge acc.chunk_counts other.chunk_counts;
   acc.worst_failures <- max acc.worst_failures other.worst_failures;
   acc.smallest_chunk <- Float.min acc.smallest_chunk other.smallest_chunk;
-  acc.largest_chunk <- Float.max acc.largest_chunk other.largest_chunk
+  acc.largest_chunk <- Float.max acc.largest_chunk other.largest_chunk;
+  acc.profile <- Summary.Vector.merge acc.profile other.profile
+
+let profile_of_vector v =
+  let module V = Summary.Vector in
+  if V.count v = 0 then None
+  else begin
+    let mk_mean = V.mean v comp_makespan in
+    let frac i = if mk_mean > 0. then V.mean v i /. mk_mean else nan in
+    Some
+      {
+        mk_p50 = V.quantile v comp_makespan 0.5;
+        mk_p95 = V.quantile v comp_makespan 0.95;
+        mk_p99 = V.quantile v comp_makespan 0.99;
+        mk_mean;
+        mk_ci95 = V.ci_half_width v comp_makespan;
+        deg_ci95 = V.ci_half_width v comp_degradation;
+        useful_s = V.mean v comp_useful;
+        checkpoint_s = V.mean v comp_checkpoint;
+        wasted_s = V.mean v comp_wasted;
+        recovery_s = V.mean v comp_recovery;
+        stall_s = V.mean v comp_stall;
+        useful_frac = frac comp_useful;
+        checkpoint_frac = frac comp_checkpoint;
+        wasted_frac = frac comp_wasted;
+        recovery_frac = frac comp_recovery;
+        stall_frac = frac comp_stall;
+      }
+  end
 
 let result_of_accumulator name acc =
   {
@@ -87,6 +182,7 @@ let result_of_accumulator name acc =
     average_chunks = Summary.mean acc.chunk_counts;
     min_chunk = (if acc.smallest_chunk = infinity then 0. else acc.smallest_chunk);
     max_chunk = acc.largest_chunk;
+    profile = profile_of_vector acc.profile;
   }
 
 (* One Monte-Carlo replicate, self-contained: generates (or fetches
@@ -275,16 +371,18 @@ let table_of_partials partials =
    input: a corrupted checkpoint must read as "recompute me". *)
 
 let serialize_accumulator a =
-  Printf.sprintf "%s %s %s %s %d %h %h" (Summary.serialize a.degradation)
+  Printf.sprintf "%s %s %s %s %d %h %h %s" (Summary.serialize a.degradation)
     (Summary.serialize a.makespan) (Summary.serialize a.failures)
     (Summary.serialize a.chunk_counts) a.worst_failures a.smallest_chunk a.largest_chunk
+    (Summary.Vector.serialize a.profile)
 
-(* 4 summaries x 5 tokens + worst/smallest/largest. *)
+(* 4 summaries x 5 tokens + worst/smallest/largest, followed by the
+   variable-length distributional vector. *)
 let accumulator_tokens = 23
 
 let deserialize_accumulator tokens =
   let ( let* ) = Option.bind in
-  if Array.length tokens <> accumulator_tokens then None
+  if Array.length tokens < accumulator_tokens then None
   else begin
     let summary i =
       Summary.deserialize (String.concat " " (Array.to_list (Array.sub tokens i 5)))
@@ -296,6 +394,14 @@ let deserialize_accumulator tokens =
     let* worst_failures = int_of_string_opt tokens.(20) in
     let* smallest_chunk = float_of_string_opt tokens.(21) in
     let* largest_chunk = float_of_string_opt tokens.(22) in
+    let rest =
+      Array.to_list (Array.sub tokens accumulator_tokens (Array.length tokens - accumulator_tokens))
+    in
+    let* profile =
+      match Summary.Vector.of_tokens rest with
+      | Some (v, []) when Summary.Vector.dim v = profile_dim -> Some v
+      | _ -> None
+    in
     Some
       {
         degradation;
@@ -305,10 +411,15 @@ let deserialize_accumulator tokens =
         worst_failures;
         smallest_chunk;
         largest_chunk;
+        profile;
       }
   end
 
-let partial_format = "ckpt-eval-partial/1"
+(* /2 added the distributional vector to each accumulator line.  /1
+   units in a sweep store deserialize as None and are recomputed —
+   exactly the invalidation semantics the store already has for
+   corrupted units. *)
+let partial_format = "ckpt-eval-partial/2"
 
 let serialize_partial p =
   let buf = Buffer.create 1024 in
@@ -421,20 +532,62 @@ let degradation_table ~scenario ~policies ~replicates =
   end;
   table
 
-let average_makespan ~scenario ~policy ~replicates =
-  let makespans =
+(* The Welford fold below is kept in the exact shape (and order) of
+   the original [average_makespan], so the mean this returns is
+   bit-identical to the historical column; the distributional profile
+   rides along from the same runs. *)
+let makespan_profile ~scenario ~policy ~replicates =
+  let outcomes =
     Domain_pool.parallel_init replicates (fun replicate ->
         let traces = Scenario.traces scenario ~replicate in
         match Engine.run ~scenario ~traces ~policy with
-        | Engine.Completed m -> Some m.Engine.makespan
+        | Engine.Completed m -> Some m
         | Engine.Policy_failed _ -> None)
   in
   let acc =
     Array.fold_left
-      (fun acc -> function Some m -> Summary.add acc m | None -> acc)
-      Summary.empty makespans
+      (fun acc -> function Some m -> Summary.add acc m.Engine.makespan | None -> acc)
+      Summary.empty outcomes
   in
-  if Summary.count acc = 0 then None else Some (Summary.mean acc)
+  let vector =
+    Array.fold_left
+      (fun v -> function
+        (* No lower bound here, so no degradation: carry a neutral 1
+           in that slot and blank its interval below. *)
+        | Some m -> Summary.Vector.add v (observation_of_metrics ~degradation:1. m)
+        | None -> v)
+      (Summary.Vector.create ~dim:profile_dim)
+      outcomes
+  in
+  match (Summary.count acc > 0, profile_of_vector vector) with
+  | true, Some p -> Some (Summary.mean acc, { p with deg_ci95 = nan })
+  | _ -> None
+
+let average_makespan ~scenario ~policy ~replicates =
+  Option.map fst (makespan_profile ~scenario ~policy ~replicates)
+
+(* Distributional profile from bare waste decompositions — for studies
+   that persist per-replicate component rows (e.g. the spares sweep)
+   instead of full accumulators.  No degradation baseline, so the slot
+   carries a neutral 1 and its interval is blanked, as in
+   [makespan_profile]. *)
+let profile_of_components rows =
+  let vector =
+    List.fold_left
+      (fun v (mk, useful, ckpt, wasted, recovery, stall) ->
+        let obs = Array.make profile_dim 0. in
+        obs.(comp_makespan) <- mk;
+        obs.(comp_useful) <- useful;
+        obs.(comp_checkpoint) <- ckpt;
+        obs.(comp_wasted) <- wasted;
+        obs.(comp_recovery) <- recovery;
+        obs.(comp_stall) <- stall;
+        obs.(comp_degradation) <- 1.;
+        Summary.Vector.add v obs)
+      (Summary.Vector.create ~dim:profile_dim)
+      rows
+  in
+  Option.map (fun p -> { p with deg_ci95 = nan }) (profile_of_vector vector)
 
 (* A float cell that may be undefined (no successful run to average,
    or a single run with no defined deviation): print "n/a" instead of
@@ -450,9 +603,29 @@ let pp_result fmt r =
     (pp_cell ~width:10 ~decimals:0) r.average_makespan r.successes
     (pp_cell ~width:6 ~decimals:1) r.average_failures r.max_failures
 
+let pp_profile_row fmt (r : policy_result) =
+  match r.profile with
+  | None -> Format.fprintf fmt "%-16s %8s" r.policy_name "n/a"
+  | Some p ->
+      Format.fprintf fmt "%-16s %a %a %a %a %a  %a %a %a  %a s" r.policy_name
+        (pp_cell ~width:8 ~decimals:4) p.useful_frac
+        (pp_cell ~width:8 ~decimals:4) p.checkpoint_frac
+        (pp_cell ~width:8 ~decimals:4) p.wasted_frac
+        (pp_cell ~width:8 ~decimals:4) p.recovery_frac
+        (pp_cell ~width:8 ~decimals:4) p.stall_frac
+        (pp_cell ~width:10 ~decimals:0) p.mk_p50
+        (pp_cell ~width:10 ~decimals:0) p.mk_p95
+        (pp_cell ~width:10 ~decimals:0) p.mk_p99
+        (pp_cell ~width:8 ~decimals:0) p.mk_ci95
+
 let pp_table fmt t =
   Format.fprintf fmt "%-16s %8s %8s  %12s  %5s  %s@." "policy" "avg-deg" "std" "avg-makespan"
     "runs" "failures";
   Format.fprintf fmt "%a@." pp_result t.lower_bound;
   List.iter (fun r -> Format.fprintf fmt "%a@." pp_result r) t.results;
-  Format.fprintf fmt "(%d/%d usable trace sets)@." t.usable_replicates t.replicates
+  Format.fprintf fmt "(%d/%d usable trace sets)@." t.usable_replicates t.replicates;
+  Format.fprintf fmt "waste breakdown (fractions of makespan; makespan p50/p95/p99, 95%% CI)@.";
+  Format.fprintf fmt "%-16s %8s %8s %8s %8s %8s  %10s %10s %10s  %8s@." "policy" "useful"
+    "ckpt" "wasted" "recovery" "stall" "p50" "p95" "p99" "ci95";
+  Format.fprintf fmt "%a@." pp_profile_row t.lower_bound;
+  List.iter (fun r -> Format.fprintf fmt "%a@." pp_profile_row r) t.results

@@ -15,6 +15,36 @@
     Set [CKPT_VERBOSE=1] for per-policy wall-clock and replicate
     progress reporting (see {!Instrument}). *)
 
+(** Distributional view of a policy's completed runs, derived from the
+    exact {!Ckpt_numerics.Summary.Vector} accumulator: makespan
+    quantiles (log-histogram estimates), 95% confidence half-widths
+    for the mean makespan and mean degradation, and the waste
+    decomposition both as mean seconds and as fractions of the mean
+    makespan.  The mean seconds satisfy
+    [mk_mean = useful_s + checkpoint_s + wasted_s + recovery_s + stall_s]
+    up to the engine's ulp-scaled accounting tolerance — enforced
+    per-replicate by {!Engine.Accounting_violation}.  Undefined cells
+    (e.g. intervals below two runs) are [nan]; renderers print "n/a"
+    or an empty CSV cell. *)
+type waste_profile = {
+  mk_p50 : float;
+  mk_p95 : float;
+  mk_p99 : float;
+  mk_mean : float;  (** mean makespan from the exact sum (seconds). *)
+  mk_ci95 : float;  (** 95% CI half-width of the mean makespan. *)
+  deg_ci95 : float;  (** 95% CI half-width of the mean degradation. *)
+  useful_s : float;
+  checkpoint_s : float;
+  wasted_s : float;
+  recovery_s : float;
+  stall_s : float;
+  useful_frac : float;
+  checkpoint_frac : float;
+  wasted_frac : float;
+  recovery_frac : float;
+  stall_frac : float;
+}
+
 type policy_result = {
   policy_name : string;
   average_degradation : float;  (** mean of makespan / best-of-trace. *)
@@ -26,6 +56,7 @@ type policy_result = {
   average_chunks : float;
   min_chunk : float;  (** smallest chunk ever committed (seconds). *)
   max_chunk : float;
+  profile : waste_profile option;  (** [None] when no run completed. *)
 }
 
 type table = {
@@ -96,6 +127,25 @@ val average_makespan :
   scenario:Scenario.t -> policy:Ckpt_policies.Policy.t -> replicates:int -> float option
 (** Mean makespan of one policy alone (Appendix D's absolute-makespan
     plots); [None] if the policy failed on every trace set. *)
+
+val profile_of_components :
+  (float * float * float * float * float * float) list -> waste_profile option
+(** Build a {!waste_profile} from bare per-run decompositions
+    [(makespan, useful, checkpoint, wasted, recovery, stall)] — for
+    studies that persist component rows per replicate rather than full
+    accumulators.  [None] on an empty list; [deg_ci95] is [nan] (no
+    degradation baseline).  Rows must be finite
+    (@raise Invalid_argument otherwise, from
+    {!Ckpt_numerics.Summary.Vector.add}). *)
+
+val makespan_profile :
+  scenario:Scenario.t ->
+  policy:Ckpt_policies.Policy.t ->
+  replicates:int ->
+  (float * waste_profile) option
+(** {!average_makespan} (bit-identical mean, first component) together
+    with the distributional profile of the same runs.  [deg_ci95] is
+    [nan]: a single-policy run has no degradation baseline. *)
 
 val pp_table : Format.formatter -> table -> unit
 (** Render rows as the paper's tables do (name, avg, std, extras).

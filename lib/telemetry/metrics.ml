@@ -21,19 +21,16 @@ let set_enabled b = Atomic.set enabled_flag b
 
 (* -- histograms ----------------------------------------------------------- *)
 
-(* Power-of-two buckets: bucket [i] holds observations in
-   [2^(i-offset), 2^(i-offset+1)).  64 buckets centred on 1.0 cover
-   ~1e-9 .. ~4e9 — microseconds to decades in seconds — which is every
-   duration this codebase can produce; out-of-range values clamp to
-   the end buckets, and non-positive values land in bucket 0. *)
-let hist_buckets = 64
-let hist_offset = 32
+(* Bucketing, merging and quantile estimation are Ckpt_numerics.Log_hist
+   (power-of-two buckets centred on 1.0); the registry's snapshot only
+   adds a running [sum] on top, for exact means.  Sharing the scheme
+   means histograms built by the evaluation harness (Summary.Vector)
+   and by live metering are directly comparable bucket for bucket. *)
+module Log_hist = Ckpt_numerics.Log_hist
 
-let bucket_of_value v =
-  if not (Float.is_finite v) || v <= 0. then 0
-  else min (hist_buckets - 1) (max 0 (hist_offset + int_of_float (Float.floor (Float.log2 v))))
-
-let bucket_lower i = Float.pow 2. (float_of_int (i - hist_offset))
+let hist_buckets = Log_hist.n_buckets
+let bucket_of_value = Log_hist.bucket_of_value
+let bucket_lower = Log_hist.bucket_lower
 
 type histogram_snapshot = {
   buckets : int array;  (* length [hist_buckets] *)
@@ -42,6 +39,9 @@ type histogram_snapshot = {
   min_v : float;
   max_v : float;
 }
+
+let hist_of_snapshot h =
+  { Log_hist.buckets = h.buckets; count = h.count; min_v = h.min_v; max_v = h.max_v }
 
 let empty_histogram =
   {
@@ -56,41 +56,17 @@ let empty_histogram =
    the snapshot of the concatenated observation streams, so per-domain
    or per-replicate histograms can be combined in any order. *)
 let merge_histograms a b =
+  let m = Log_hist.merge (hist_of_snapshot a) (hist_of_snapshot b) in
   {
-    buckets = Array.init hist_buckets (fun i -> a.buckets.(i) + b.buckets.(i));
-    count = a.count + b.count;
+    buckets = m.Log_hist.buckets;
+    count = m.Log_hist.count;
     sum = a.sum +. b.sum;
-    min_v = Float.min a.min_v b.min_v;
-    max_v = Float.max a.max_v b.max_v;
+    min_v = m.Log_hist.min_v;
+    max_v = m.Log_hist.max_v;
   }
 
 let histogram_mean h = if h.count = 0 then nan else h.sum /. float_of_int h.count
-
-(* Quantile estimated from the log-scale buckets: walk to the bucket
-   containing the rank and report its geometric midpoint, clamped into
-   the observed range.  The clamp matters at the extremes: min/max are
-   exact observations while midpoints are bucket estimates, and an
-   unclamped midpoint can fall outside [min_v, max_v] (e.g. every
-   observation at 1.9 lives in bucket [1,2) whose midpoint is 1.41),
-   which would break monotonicity against the exact endpoints returned
-   for p<=0 / p>=1. *)
-let histogram_quantile h p =
-  if h.count = 0 then nan
-  else if p <= 0. then h.min_v
-  else if p >= 1. then h.max_v
-  else begin
-    let rank = int_of_float (Float.round (p *. float_of_int h.count)) in
-    let rank = max 1 (min h.count rank) in
-    let rec walk i seen =
-      if i >= hist_buckets then h.max_v
-      else begin
-        let seen = seen + h.buckets.(i) in
-        if seen >= rank then Float.max h.min_v (Float.min h.max_v (bucket_lower i *. sqrt 2.))
-        else walk (i + 1) seen
-      end
-    in
-    walk 0 0
-  end
+let histogram_quantile h p = Log_hist.quantile (hist_of_snapshot h) p
 
 (* -- registry cells ------------------------------------------------------- *)
 

@@ -40,14 +40,15 @@ let event_fields = function
   | Tracer.Chunk_start { at; work } -> ("chunk-start", [ ("at", num at); ("work", num work) ])
   | Tracer.Chunk_commit { t0; t1; work } ->
       ("chunk-commit", [ ("t0", num t0); ("t1", num t1); ("work", num work) ])
-  | Tracer.Checkpoint { t0; t1 } -> ("checkpoint", [ ("t0", num t0); ("t1", num t1) ])
+  | Tracer.Checkpoint { t0; t1; cost } ->
+      ("checkpoint", [ ("t0", num t0); ("t1", num t1); ("cost", num cost) ])
   | Tracer.Failure { at; proc } -> ("failure", [ ("at", num at); ("proc", string_of_int proc) ])
   | Tracer.Waste { t0; t1 } -> ("waste", [ ("t0", num t0); ("t1", num t1) ])
   | Tracer.Downtime { t0; t1 } -> ("downtime", [ ("t0", num t0); ("t1", num t1) ])
   | Tracer.Recovery_start { at } -> ("recovery-start", [ ("at", num at) ])
   | Tracer.Recovery_abort { t0; t1 } -> ("recovery-abort", [ ("t0", num t0); ("t1", num t1) ])
-  | Tracer.Recovery_complete { t0; t1 } ->
-      ("recovery-complete", [ ("t0", num t0); ("t1", num t1) ])
+  | Tracer.Recovery_complete { t0; t1; cost } ->
+      ("recovery-complete", [ ("t0", num t0); ("t1", num t1); ("cost", num cost) ])
 
 let jsonl_line ~buffer_name e =
   let kind, fields = event_fields e in
@@ -86,14 +87,14 @@ let chrome_event ~tid = function
       instant_json ~tid ~name:"chunk-start" ~at ~args:(Printf.sprintf "\"work_s\":%s" (num work))
   | Tracer.Chunk_commit { t0; t1; work } ->
       span_json ~tid ~name:"work" ~t0 ~t1 ~args:(Printf.sprintf "\"work_s\":%s" (num work))
-  | Tracer.Checkpoint { t0; t1 } -> span_json ~tid ~name:"checkpoint" ~t0 ~t1 ~args:""
+  | Tracer.Checkpoint { t0; t1; _ } -> span_json ~tid ~name:"checkpoint" ~t0 ~t1 ~args:""
   | Tracer.Failure { at; proc } ->
       instant_json ~tid ~name:"failure" ~at ~args:(Printf.sprintf "\"proc\":%d" proc)
   | Tracer.Waste { t0; t1 } -> span_json ~tid ~name:"waste" ~t0 ~t1 ~args:""
   | Tracer.Downtime { t0; t1 } -> span_json ~tid ~name:"downtime" ~t0 ~t1 ~args:""
   | Tracer.Recovery_start { at } -> instant_json ~tid ~name:"recovery-start" ~at ~args:""
   | Tracer.Recovery_abort { t0; t1 } -> span_json ~tid ~name:"recovery-abort" ~t0 ~t1 ~args:""
-  | Tracer.Recovery_complete { t0; t1 } -> span_json ~tid ~name:"recovery" ~t0 ~t1 ~args:""
+  | Tracer.Recovery_complete { t0; t1; _ } -> span_json ~tid ~name:"recovery" ~t0 ~t1 ~args:""
 
 let write_chrome oc buffers =
   output_string oc "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";

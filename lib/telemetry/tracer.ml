@@ -4,14 +4,19 @@
    start/commit, checkpoint, failure, downtime, recovery
    start/abort/complete, policy decision — into a per-execution ring
    buffer.  Timestamps are *simulated* seconds (the engine's clock),
-   so span durations reconcile exactly with [Engine.metrics]:
+   and durations reconcile bit-for-bit with [Engine.metrics]:
 
-     useful_work     = sum of Chunk_commit spans
-     checkpoint_time = sum of Checkpoint spans
+     useful_work     = sum of Chunk_commit work
+     checkpoint_time = sum of Checkpoint costs
      wasted_time     = sum of Waste spans
-     recovery_time   = sum of Recovery_abort + Recovery_complete spans
+     recovery_time   = sum of Recovery_abort spans + Recovery_complete costs
      stall_time      = sum of Downtime spans
 
+   Checkpoint and Recovery_complete carry the engine's cost operand
+   alongside the span because [t1 -. t0] re-rounds through the running
+   clock: [(now +. chunk +. c) -. (now +. chunk)] is not always [c].
+   [totals] folds the same operands in the same order as the engine's
+   accumulators, so equality is exact, not epsilon
    (asserted by test/test_simulator.ml).
 
    Tracing is off by default: the engine's fast path is one [match] on
@@ -25,13 +30,13 @@ type event =
   | Decision of { at : float; chunk : float; remaining : float }
   | Chunk_start of { at : float; work : float }
   | Chunk_commit of { t0 : float; t1 : float; work : float }
-  | Checkpoint of { t0 : float; t1 : float }
+  | Checkpoint of { t0 : float; t1 : float; cost : float }
   | Failure of { at : float; proc : int }
   | Waste of { t0 : float; t1 : float }
   | Downtime of { t0 : float; t1 : float }
   | Recovery_start of { at : float }
   | Recovery_abort of { t0 : float; t1 : float }
-  | Recovery_complete of { t0 : float; t1 : float }
+  | Recovery_complete of { t0 : float; t1 : float; cost : float }
 
 (* -- global switches ------------------------------------------------------ *)
 
@@ -131,14 +136,14 @@ let totals b =
       match e with
       | Decision _ -> { t with decisions = t.decisions + 1 }
       | Chunk_start _ -> t
-      | Chunk_commit { t0; t1; _ } -> { t with work = t.work +. (t1 -. t0); chunks = t.chunks + 1 }
-      | Checkpoint { t0; t1 } -> { t with checkpoint = t.checkpoint +. (t1 -. t0) }
+      | Chunk_commit { work; _ } -> { t with work = t.work +. work; chunks = t.chunks + 1 }
+      | Checkpoint { cost; _ } -> { t with checkpoint = t.checkpoint +. cost }
       | Failure _ -> { t with failures = t.failures + 1 }
       | Waste { t0; t1 } -> { t with waste = t.waste +. (t1 -. t0) }
       | Downtime { t0; t1 } -> { t with downtime = t.downtime +. (t1 -. t0) }
       | Recovery_start _ -> t
-      | Recovery_abort { t0; t1 } | Recovery_complete { t0; t1 } ->
-          { t with recovery = t.recovery +. (t1 -. t0) })
+      | Recovery_abort { t0; t1 } -> { t with recovery = t.recovery +. (t1 -. t0) }
+      | Recovery_complete { cost; _ } -> { t with recovery = t.recovery +. cost })
     zero_totals (to_list b)
 
 (* -- the sink: buffers accumulated for end-of-process export -------------- *)
@@ -185,15 +190,15 @@ let pp_event fmt = function
   | Chunk_start { at; work } -> Format.fprintf fmt "%12.1f  chunk-start       %g s of work" at work
   | Chunk_commit { t0; t1; work } ->
       Format.fprintf fmt "%12.1f  chunk-commit      %g s of work done at %g" t0 work t1
-  | Checkpoint { t0; t1 } -> Format.fprintf fmt "%12.1f  checkpoint        %g s" t0 (t1 -. t0)
+  | Checkpoint { t0; cost; _ } -> Format.fprintf fmt "%12.1f  checkpoint        %g s" t0 cost
   | Failure { at; proc } -> Format.fprintf fmt "%12.1f  FAILURE           processor %d" at proc
   | Waste { t0; t1 } -> Format.fprintf fmt "%12.1f  waste             %g s destroyed" t0 (t1 -. t0)
   | Downtime { t0; t1 } -> Format.fprintf fmt "%12.1f  downtime          %g s stalled" t0 (t1 -. t0)
   | Recovery_start { at } -> Format.fprintf fmt "%12.1f  recovery-start" at
   | Recovery_abort { t0; t1 } ->
       Format.fprintf fmt "%12.1f  recovery-abort    %g s lost" t0 (t1 -. t0)
-  | Recovery_complete { t0; t1 } ->
-      Format.fprintf fmt "%12.1f  recovery-complete %g s" t0 (t1 -. t0)
+  | Recovery_complete { t0; cost; _ } ->
+      Format.fprintf fmt "%12.1f  recovery-complete %g s" t0 cost
 
 let pp_timeline ?limit fmt b =
   let events = to_list b in

@@ -1,11 +1,13 @@
 (** Typed execution tracing: the engine's event stream.
 
-    Events carry {e simulated} timestamps (the engine clock, seconds),
-    so span durations reconcile exactly with [Engine.metrics]:
-    committed work is the sum of [Chunk_commit] spans, checkpoint time
-    the sum of [Checkpoint] spans, wasted time the [Waste] spans,
-    recovery time the [Recovery_abort] + [Recovery_complete] spans and
-    stall time the [Downtime] spans.
+    Events carry {e simulated} timestamps (the engine clock, seconds)
+    plus, where the span endpoints re-round through the running clock,
+    the engine's exact cost operand — so {!totals} reconciles
+    {e bit-for-bit} with [Engine.metrics]: committed work is the sum
+    of [Chunk_commit] work, checkpoint time the sum of [Checkpoint]
+    costs, wasted time the [Waste] spans, recovery time the
+    [Recovery_abort] spans plus [Recovery_complete] costs and stall
+    time the [Downtime] spans.
 
     Tracing is opt-in: {!enabled} reflects [CKPT_TRACE_OUT] (or
     {!set_enabled}), and an engine run only emits when handed a
@@ -19,14 +21,16 @@ type event =
   | Chunk_start of { at : float; work : float }
   | Chunk_commit of { t0 : float; t1 : float; work : float }
       (** the chunk's execution span; its checkpoint follows. *)
-  | Checkpoint of { t0 : float; t1 : float }  (** committed checkpoint. *)
+  | Checkpoint of { t0 : float; t1 : float; cost : float }
+      (** committed checkpoint; [cost] is the exact operand the engine
+          accumulated (not always [t1 -. t0] at the bit level). *)
   | Failure of { at : float; proc : int }  (** effective platform failure. *)
   | Waste of { t0 : float; t1 : float }
       (** execution/checkpoint time destroyed by a failure. *)
   | Downtime of { t0 : float; t1 : float }  (** processors stalled on downtimes. *)
   | Recovery_start of { at : float }
   | Recovery_abort of { t0 : float; t1 : float }  (** recovery struck by a failure. *)
-  | Recovery_complete of { t0 : float; t1 : float }
+  | Recovery_complete of { t0 : float; t1 : float; cost : float }
 
 (** {1 Global switch} *)
 
@@ -73,8 +77,9 @@ type totals = {
 
 val zero_totals : totals
 val totals : buffer -> totals
-(** Summed span durations and event counts; matches [Engine.metrics]
-    when {!dropped} is 0. *)
+(** Summed durations and event counts, folded with the same operands
+    in the same order as the engine's accumulators: equal to
+    [Engine.metrics] {e bitwise} when {!dropped} is 0. *)
 
 (** {1 Export sink}
 

@@ -54,6 +54,103 @@ let test_csv_of_series () =
   let csv = Report.csv_of_series ~x_label:"x" series in
   check Alcotest.string "csv layout" "x,a,b\n1,10,1.5\n2,20,\n" csv
 
+(* A table with a policy that never completes: its CSV row must render
+   empty profile cells — never the string "nan" or "inf" — while the
+   successful policies carry full profile blocks (satellite: NaN/inf
+   CSV guard). *)
+let failed_policy_table () =
+  let scenario =
+    S.Scenario.create ~horizon:1e7 ~start_time:0.
+      (Ckpt_policies.Job.create
+         ~dist:(Ckpt_distributions.Exponential.of_mtbf ~mtbf:4000.)
+         ~processors:1
+         ~machine:
+           (P.Machine.create ~total_processors:1 ~downtime:50.
+              ~overhead:(P.Overhead.constant 100.))
+         ~work_time:20_000.)
+  in
+  S.Evaluation.degradation_table ~scenario
+    ~policies:
+      [ Ckpt_policies.Policy.periodic "ok" ~period:1000.;
+        Ckpt_policies.Policy.stateless "never" (fun _ -> None) ]
+    ~replicates:3
+
+let contains_sub ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_csv_no_nan_for_failed_policy () =
+  let table = failed_policy_table () in
+  let csv = Report.csv_of_table table in
+  let lower = String.lowercase_ascii csv in
+  check Alcotest.bool "no 'nan' cell" false (contains_sub ~needle:"nan" lower);
+  check Alcotest.bool "no 'inf' cell" false (contains_sub ~needle:"inf" lower);
+  (match String.split_on_char '\n' csv with
+  | header :: _ ->
+      List.iter
+        (fun col ->
+          check Alcotest.bool ("header has " ^ col) true
+            (contains_sub ~needle:("," ^ col) header))
+        Report.profile_columns
+  | [] -> Alcotest.fail "empty csv");
+  let row name =
+    List.find
+      (fun l -> String.length l > String.length name && String.sub l 0 (String.length name) = name)
+      (String.split_on_char '\n' csv)
+  in
+  (* The failed policy's profile block is entirely empty cells. *)
+  let never = row "never" in
+  let expected_empty = String.concat "" (List.map (fun _ -> ",") Report.profile_columns) in
+  check Alcotest.bool "failed row ends in empty profile cells" true
+    (String.ends_with ~suffix:expected_empty never);
+  (* The successful policy's block carries values that sum back to the
+     mean makespan (the accounting identity survives the %.10g round
+     trip). *)
+  let ok_cells = String.split_on_char ',' (row "ok") in
+  (* The profile block is the trailing |profile_columns| cells. *)
+  let cell name =
+    let rec find i = function
+      | [] -> Alcotest.fail ("missing column " ^ name)
+      | c :: _ when c = name -> i
+      | _ :: rest -> find (i + 1) rest
+    in
+    let offset = List.length ok_cells - List.length Report.profile_columns in
+    float_of_string (List.nth ok_cells (offset + find 0 Report.profile_columns))
+  in
+  let sum =
+    cell "useful_s" +. cell "checkpoint_s" +. cell "wasted_s" +. cell "recovery_s"
+    +. cell "stall_s"
+  in
+  let mk = cell "mk_mean_s" in
+  check Alcotest.bool
+    (Printf.sprintf "components %.10g sum to mk_mean %.10g" sum mk)
+    true
+    (abs_float (sum -. mk) <= 1e-8 *. mk);
+  check Alcotest.bool "quantiles ordered in csv" true
+    (cell "mk_p50_s" <= cell "mk_p95_s" && cell "mk_p95_s" <= cell "mk_p99_s")
+
+let test_csv_of_tables_extends_series_csv () =
+  (* The sweep CSV's leading columns must stay byte-identical to the
+     pre-profile format: every csv_of_series line is a prefix of the
+     corresponding csv_of_tables line. *)
+  let table = failed_policy_table () in
+  let tables = [ (16., table); (64., table) ] in
+  let old_csv = Report.csv_of_series ~x_label:"p" (Report.degradation_series tables) in
+  let new_csv = Report.csv_of_tables ~x_label:"p" tables in
+  let old_lines = String.split_on_char '\n' old_csv in
+  let new_lines = String.split_on_char '\n' new_csv in
+  check Alcotest.int "same line count" (List.length old_lines) (List.length new_lines);
+  List.iter2
+    (fun prefix line ->
+      check Alcotest.bool
+        (Printf.sprintf "%S extends %S" line prefix)
+        true
+        (String.starts_with ~prefix line))
+    old_lines new_lines;
+  let lower = String.lowercase_ascii new_csv in
+  check Alcotest.bool "no 'nan' cell in sweep csv" false (contains_sub ~needle:"nan" lower)
+
 let test_write_csv_creates_directories () =
   let dir = Filename.temp_file "ckpt" "" in
   Sys.remove dir;
@@ -295,6 +392,10 @@ let () =
       ( "report",
         [
           Alcotest.test_case "csv" `Quick test_csv_of_series;
+          Alcotest.test_case "failed policy never prints nan" `Quick
+            test_csv_no_nan_for_failed_policy;
+          Alcotest.test_case "sweep csv extends the series csv" `Quick
+            test_csv_of_tables_extends_series_csv;
           Alcotest.test_case "write_csv mkdir" `Quick test_write_csv_creates_directories;
         ] );
       ( "ascii_plot",

@@ -286,6 +286,79 @@ let prop_quantile_monotone =
       let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
       Summary.quantile data lo <= Summary.quantile data hi +. 1e-9)
 
+(* -- Exact sums and distributional vectors ----------------------------------- *)
+
+module Exact_sum = Ckpt_numerics.Exact_sum
+
+let prop_exact_sum_order_independent =
+  (* The whole point of the superaccumulator: any permutation of the
+     observations gives the same bits. *)
+  QCheck2.Test.make ~name:"Exact_sum is order-independent, bit for bit" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 40) (float_range (-1e12) 1e12))
+    (fun xs ->
+      let total l = List.fold_left Exact_sum.add Exact_sum.zero l in
+      Exact_sum.equal (total xs) (total (List.rev xs)))
+
+let vdim = 3
+let vector_of rows = List.fold_left Summary.Vector.add (Summary.Vector.create ~dim:vdim) rows
+
+let gen_vector =
+  QCheck2.Gen.(
+    map vector_of (list_size (int_range 0 25) (array_repeat vdim (float_range (-1e9) 1e9))))
+
+let vector_bits = Summary.Vector.serialize
+
+let prop_vector_merge_commutative =
+  QCheck2.Test.make ~name:"Vector.merge is commutative at the bit level" ~count:200
+    QCheck2.Gen.(pair gen_vector gen_vector)
+    (fun (a, b) ->
+      vector_bits (Summary.Vector.merge a b) = vector_bits (Summary.Vector.merge b a))
+
+let prop_vector_merge_associative =
+  QCheck2.Test.make ~name:"Vector.merge is associative at the bit level" ~count:200
+    QCheck2.Gen.(triple gen_vector gen_vector gen_vector)
+    (fun (a, b, c) ->
+      vector_bits (Summary.Vector.merge (Summary.Vector.merge a b) c)
+      = vector_bits (Summary.Vector.merge a (Summary.Vector.merge b c)))
+
+let prop_vector_roundtrip =
+  QCheck2.Test.make ~name:"Vector serialize/deserialize is bit-exact" ~count:200 gen_vector
+    (fun v ->
+      match Summary.Vector.deserialize (vector_bits v) with
+      | None -> false
+      | Some v' -> Summary.Vector.equal v v' && vector_bits v = vector_bits v')
+
+let test_vector_known () =
+  let v = vector_of [ [| 1.; 10.; 100. |]; [| 2.; 20.; 200. |]; [| 3.; 30.; 300. |] ] in
+  check Alcotest.int "dim" vdim (Summary.Vector.dim v);
+  check Alcotest.int "count" 3 (Summary.Vector.count v);
+  close "mean c0" 2. (Summary.Vector.mean v 0);
+  close "mean c2" 200. (Summary.Vector.mean v 2);
+  close "variance c1" 100. (Summary.Vector.variance v 1);
+  close "min c0" 1. (Summary.Vector.min_value v 0);
+  close "max c2" 300. (Summary.Vector.max_value v 2);
+  let q = Summary.Vector.quantile v 1 0.5 in
+  check Alcotest.bool "median within range" true (q >= 10. && q <= 30.);
+  check Alcotest.bool "p50 <= p99" true
+    (Summary.Vector.quantile v 1 0.5 <= Summary.Vector.quantile v 1 0.99);
+  check Alcotest.bool "ci half-width positive" true (Summary.Vector.ci_half_width v 0 > 0.)
+
+let test_vector_errors () =
+  let v = Summary.Vector.create ~dim:2 in
+  Alcotest.check_raises "dim 0 rejected" (Invalid_argument "Summary.Vector.create: dim < 1")
+    (fun () -> ignore (Summary.Vector.create ~dim:0));
+  Alcotest.check_raises "dimension mismatch"
+    (Invalid_argument "Summary.Vector.add: dimension mismatch") (fun () ->
+      ignore (Summary.Vector.add v [| 1. |]));
+  Alcotest.check_raises "non-finite component"
+    (Invalid_argument "Summary.Vector.add: non-finite component") (fun () ->
+      ignore (Summary.Vector.add v [| 1.; nan |]));
+  Alcotest.check_raises "merge dimension mismatch"
+    (Invalid_argument "Summary.Vector.merge: dimension mismatch") (fun () ->
+      ignore (Summary.Vector.merge v (Summary.Vector.create ~dim:3)));
+  check Alcotest.(option reject) "garbage rejected" None
+    (Option.map ignore (Summary.Vector.deserialize "vector nonsense"))
+
 (* -- Histogram -------------------------------------------------------------- *)
 
 let test_histogram_counts () =
@@ -322,6 +395,8 @@ let qcheck_cases =
     [
       prop_w0_identity; prop_mean_within_range; prop_merge_matches_add_all;
       prop_merge_pairwise_reduction; prop_quantile_monotone;
+      prop_exact_sum_order_independent; prop_vector_merge_commutative;
+      prop_vector_merge_associative; prop_vector_roundtrip;
     ]
 
 let () =
@@ -378,6 +453,11 @@ let () =
           Alcotest.test_case "quantiles" `Quick test_quantiles;
           Alcotest.test_case "confidence interval" `Quick test_confidence_interval;
           Alcotest.test_case "quantile errors" `Quick test_quantile_errors;
+        ] );
+      ( "vector",
+        [
+          Alcotest.test_case "known stats" `Quick test_vector_known;
+          Alcotest.test_case "errors" `Quick test_vector_errors;
         ] );
       ( "histogram",
         [

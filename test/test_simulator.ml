@@ -750,6 +750,198 @@ let test_traced_weibull_reconciles () =
   done;
   check Alcotest.bool "at least one replicate saw failures" true !saw_failures
 
+let weibull_scenario () =
+  Scenario.create ~horizon:1e8 ~start_time:0.
+    (Job.create
+       ~dist:(Weibull.of_mtbf ~mtbf:2000. ~shape:0.7)
+       ~processors:4
+       ~machine:
+         (Machine.create ~total_processors:4 ~downtime:40. ~overhead:(Overhead.constant 120.))
+       ~work_time:20_000.)
+
+(* Satellite of the waste-accounting layer: the progress-dependent-cost
+   entry point reconciles with the event stream too — and now that
+   Checkpoint/Recovery_complete events carry the engine's exact cost
+   operand, the comparison is bitwise, not tolerance-based. *)
+let test_traced_cost_profile_reconciles () =
+  let scenario = weibull_scenario () in
+  (* A genuinely varying profile so the exact-cost claim is exercised
+     on values the constant-cost path never produces. *)
+  let cost_profile ~progress = (120. +. (30. *. progress), 120. -. (20. *. progress)) in
+  let saw_failures = ref false in
+  for replicate = 0 to 4 do
+    let traces = Scenario.traces scenario ~replicate in
+    let buf =
+      Tracer.create_buffer ~capacity:65_536
+        ~name:(Printf.sprintf "cost-rep%d" replicate)
+        ()
+    in
+    match
+      Engine.run_with_cost_profile_traced ~trace:buf ~cost_profile ~scenario ~traces
+        ~policy:(Policy.periodic "p" ~period:1000.)
+    with
+    | Engine.Completed m ->
+        check Alcotest.int "no dropped events" 0 (Tracer.dropped buf);
+        let t = Tracer.totals buf in
+        let exact name a b =
+          check Alcotest.bool (name ^ " bitwise") true (Int64.bits_of_float a = Int64.bits_of_float b)
+        in
+        exact "work" m.Engine.useful_work t.Tracer.work;
+        exact "checkpoint" m.Engine.checkpoint_time t.Tracer.checkpoint;
+        exact "waste" m.Engine.wasted_time t.Tracer.waste;
+        exact "recovery" m.Engine.recovery_time t.Tracer.recovery;
+        exact "downtime" m.Engine.stall_time t.Tracer.downtime;
+        check Alcotest.int "failures" m.Engine.failures t.Tracer.failures;
+        check Alcotest.int "chunks" m.Engine.chunks t.Tracer.chunks;
+        if m.Engine.failures > 0 then saw_failures := true
+    | Engine.Policy_failed _ -> Alcotest.fail "periodic cannot fail"
+  done;
+  check Alcotest.bool "at least one replicate saw failures" true !saw_failures
+
+(* -- explain ---------------------------------------------------------------- *)
+
+module Explain = Ckpt_simulator.Explain
+
+let check_explained scenario =
+  let policy = Policy.periodic "periodic-1000" ~period:1000. in
+  let e = Explain.run ~scenario ~policy ~replicate:1 in
+  check Alcotest.bool "decisions present" true (e.Explain.decisions <> []);
+  check Alcotest.int "no dropped events" 0 e.Explain.dropped;
+  check Alcotest.bool "reconciles bitwise" true (Explain.reconciles e);
+  (* Every decision carries its rationale (nothing dropped), and the
+     rationale's numbers are sane at the observed ages. *)
+  List.iter
+    (fun d ->
+      match d.Explain.rationale with
+      | None -> Alcotest.fail "decision without rationale"
+      | Some r ->
+          (* Weibull with shape < 1 legitimately has infinite hazard at
+             age zero; only nan and non-positive values are bugs. *)
+          check Alcotest.bool "hazard positive (possibly infinite)" true
+            ((not (Float.is_nan r.Ckpt_policies.Rationale.hazard))
+            && r.Ckpt_policies.Rationale.hazard > 0.);
+          check Alcotest.bool "commit probability in (0, 1]" true
+            (r.Ckpt_policies.Rationale.commit_probability > 0.
+            && r.Ckpt_policies.Rationale.commit_probability <= 1.);
+          check Alcotest.bool "expected loss within window" true
+            (Float.is_nan r.Ckpt_policies.Rationale.expected_loss
+            || (r.Ckpt_policies.Rationale.expected_loss >= 0.
+               && r.Ckpt_policies.Rationale.expected_loss
+                  <= r.Ckpt_policies.Rationale.window)))
+    e.Explain.decisions;
+  (* The instrumented replay must not perturb the execution. *)
+  let plain =
+    Engine.run ~scenario ~traces:(Scenario.traces scenario ~replicate:1) ~policy
+  in
+  check Alcotest.bool "replay bit-identical to plain run" true (plain = e.Explain.outcome);
+  let rendered = Format.asprintf "%a" (Explain.print ~limit:5) e in
+  check Alcotest.bool "footer reports exact reconciliation" true
+    (contains_sub ~needle:"exact (bitwise)" rendered);
+  check Alcotest.bool "footer reports the residual" true
+    (contains_sub ~needle:"accounting residual" rendered)
+
+let test_explain_weibull_reconciles () = check_explained (weibull_scenario ())
+
+let test_explain_exponential_reconciles () =
+  check_explained
+    (Scenario.create ~horizon:1e8 ~start_time:0.
+       (Job.create
+          ~dist:(Exponential.of_mtbf ~mtbf:2000.)
+          ~processors:4
+          ~machine:
+            (Machine.create ~total_processors:4 ~downtime:40.
+               ~overhead:(Overhead.constant 120.))
+          ~work_time:20_000.))
+
+let test_explain_policy_failed () =
+  let scenario = tiny_scenario () in
+  let e =
+    Explain.run ~scenario ~policy:(Policy.stateless "reject-all" (fun _ -> None)) ~replicate:0
+  in
+  (match e.Explain.declined with
+  | Some (_, remaining) -> close "declined with all work left" 1000. remaining
+  | None -> Alcotest.fail "expected a declined decision");
+  check Alcotest.bool "never reconciles" false (Explain.reconciles e)
+
+(* -- waste profile golden table --------------------------------------------- *)
+
+let test_profile_accounting_identity () =
+  (* Every row of a degradation table carries a waste profile whose
+     component means sum back to the mean makespan within the engine's
+     accounting tolerance, whose quantiles are ordered, and whose
+     fractions sum to 1. *)
+  let scenario = eval_scenario () in
+  let table =
+    Evaluation.degradation_table ~scenario
+      ~policies:[ Policy.periodic "a" ~period:900.; Policy.periodic "b" ~period:2000. ]
+      ~replicates:8
+  in
+  List.iter
+    (fun (r : Evaluation.policy_result) ->
+      match r.Evaluation.profile with
+      | None -> Alcotest.fail (r.Evaluation.policy_name ^ ": missing profile")
+      | Some p ->
+          let sum =
+            p.Evaluation.useful_s +. p.Evaluation.checkpoint_s +. p.Evaluation.wasted_s
+            +. p.Evaluation.recovery_s +. p.Evaluation.stall_s
+          in
+          check Alcotest.bool
+            (Printf.sprintf "%s: components sum to mk_mean (%.17g vs %.17g)"
+               r.Evaluation.policy_name sum p.Evaluation.mk_mean)
+            true
+            (abs_float (sum -. p.Evaluation.mk_mean) <= 1e-6 *. p.Evaluation.mk_mean);
+          check Alcotest.bool "mk_mean agrees with average_makespan" true
+            (abs_float (p.Evaluation.mk_mean -. r.Evaluation.average_makespan)
+            <= 1e-6 *. p.Evaluation.mk_mean);
+          check Alcotest.bool "quantiles ordered" true
+            (p.Evaluation.mk_p50 <= p.Evaluation.mk_p95
+            && p.Evaluation.mk_p95 <= p.Evaluation.mk_p99);
+          let fracs =
+            p.Evaluation.useful_frac +. p.Evaluation.checkpoint_frac
+            +. p.Evaluation.wasted_frac +. p.Evaluation.recovery_frac
+            +. p.Evaluation.stall_frac
+          in
+          close ~tol:1e-9 "fractions sum to 1" 1. fracs;
+          check Alcotest.bool "ci half-width positive" true (p.Evaluation.mk_ci95 > 0.))
+    (table.Evaluation.lower_bound :: table.Evaluation.results)
+
+let test_profile_stripe_sched_bit_identity () =
+  (* The tentpole determinism guarantee: the distributional profiles —
+     exact sums and log histograms — reduce to the same bits at every
+     stripe width and under both schedulers.  (The scalar Welford
+     columns are only stripe-invariant within one width — the Chan
+     merge tree shape matters to their last bits, which is exactly why
+     CKPT_SWEEP_STRIPE participates in the sweep-store key; the
+     Vector-derived profiles are the stronger, width-free promise.) *)
+  let policies () =
+    [ Policy.periodic "a" ~period:900.; Policy.periodic "b" ~period:2000. ]
+  in
+  let profiles_with ~stripe ~sched =
+    with_env "CKPT_SWEEP_STRIPE" (string_of_int stripe) (fun () ->
+        with_env "CKPT_SCHED" sched (fun () ->
+            let t =
+              Evaluation.degradation_table ~scenario:(eval_scenario ())
+                ~policies:(policies ()) ~replicates:9
+            in
+            List.map
+              (fun (r : Evaluation.policy_result) -> r.Evaluation.profile)
+              (t.Evaluation.lower_bound :: t.Evaluation.results)))
+  in
+  let reference = profiles_with ~stripe:16 ~sched:"seq" in
+  check Alcotest.int "profiles present" 3 (List.length (List.filter_map Fun.id reference));
+  List.iter
+    (fun stripe ->
+      List.iter
+        (fun sched ->
+          let p = profiles_with ~stripe ~sched in
+          check Alcotest.bool
+            (Printf.sprintf "stripe=%d sched=%s profiles == reference, bit for bit" stripe
+               sched)
+            true
+            (compare reference p = 0))
+        [ "seq"; "steal" ])
+    [ 1; 4; 16 ]
+
 let test_instrument_scoped_resets () =
   Metrics.set_enabled true;
   Fun.protect
@@ -824,6 +1016,10 @@ let () =
           Alcotest.test_case "no nan in printed tables" `Quick test_evaluation_no_nan_printed;
           Alcotest.test_case "trace cache reuse" `Quick test_trace_cache_reuses_sets;
           Alcotest.test_case "invalid" `Quick test_evaluation_invalid;
+          Alcotest.test_case "profile accounting identity" `Quick
+            test_profile_accounting_identity;
+          Alcotest.test_case "profile stripe x sched bit-identity" `Quick
+            test_profile_stripe_sched_bit_identity;
         ] );
       ( "period search",
         [
@@ -849,7 +1045,17 @@ let () =
         [
           Alcotest.test_case "weibull trace reconciles with metrics" `Quick
             test_traced_weibull_reconciles;
+          Alcotest.test_case "cost-profile trace reconciles bitwise" `Quick
+            test_traced_cost_profile_reconciles;
           Alcotest.test_case "instrument scoping" `Quick test_instrument_scoped_resets;
+        ] );
+      ( "explain",
+        [
+          Alcotest.test_case "weibull reconciles exactly" `Quick
+            test_explain_weibull_reconciles;
+          Alcotest.test_case "exponential reconciles exactly" `Quick
+            test_explain_exponential_reconciles;
+          Alcotest.test_case "declining policy reported" `Quick test_explain_policy_failed;
         ] );
       ( "significance",
         [

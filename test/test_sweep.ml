@@ -264,6 +264,41 @@ let test_floats_resume () =
       check Alcotest.int "all stripes skipped" 3 s2.Sweep_store.skipped;
       check Alcotest.int "nothing recomputed" 0 s2.Sweep_store.computed)
 
+let test_vectors_resume () =
+  with_env "CKPT_SWEEP_STRIPE" "2" (fun () ->
+      let dir = fresh_dir () in
+      let scenario = eval_scenario () in
+      (* Row 3 is all-NaN — the "failed replicate" marker must survive
+         the hex round trip through the store. *)
+      let f replicate =
+        if replicate = 3 then Array.make 4 nan
+        else Array.init 4 (fun i -> float_of_int ((replicate * 4) + i) *. 0.5)
+      in
+      let run () =
+        Sweep_store.vectors
+          ~store:(Sweep_store.create ~dir)
+          ~experiment:"vectors_test" ~scenario ~replicates:5 ~width:4 ~f ()
+      in
+      let fresh, s1 = stats_since run in
+      check Alcotest.bool "vectors == Array.init replicates f" true
+        (compare (Array.init 5 f) fresh = 0);
+      check Alcotest.int "three stripes computed" 3 s1.Sweep_store.computed;
+      let resumed, s2 = stats_since run in
+      check Alcotest.bool "resumed vectors bit-identical" true (compare fresh resumed = 0);
+      check Alcotest.int "all stripes skipped" 3 s2.Sweep_store.skipped;
+      (* Same scenario and replicates under a different kind must not
+         collide with the floats units. *)
+      let floats, s3 =
+        stats_since (fun () ->
+            Sweep_store.floats
+              ~store:(Sweep_store.create ~dir)
+              ~experiment:"vectors_test" ~scenario ~replicates:5
+              ~f:(fun r -> float_of_int r)
+              ())
+      in
+      check Alcotest.int "distinct kind computes afresh" 3 s3.Sweep_store.computed;
+      check Alcotest.(array (float 0.)) "floats unaffected" (Array.init 5 float_of_int) floats)
+
 let () =
   Alcotest.run "sweep"
     [
@@ -287,5 +322,6 @@ let () =
           Alcotest.test_case "stripe width changes keys" `Quick test_stripe_size_changes_keys;
           QCheck_alcotest.to_alcotest prop_prefix_resume;
           Alcotest.test_case "floats resume" `Quick test_floats_resume;
+          Alcotest.test_case "vectors resume" `Quick test_vectors_resume;
         ] );
     ]

@@ -189,13 +189,13 @@ let test_buffer_totals () =
   Tracer.emit buf (Tracer.Decision { at = 0.; chunk = 10.; remaining = 30. });
   Tracer.emit buf (Tracer.Chunk_start { at = 0.; work = 10. });
   Tracer.emit buf (Tracer.Chunk_commit { t0 = 0.; t1 = 10.; work = 10. });
-  Tracer.emit buf (Tracer.Checkpoint { t0 = 10.; t1 = 13. });
+  Tracer.emit buf (Tracer.Checkpoint { t0 = 10.; t1 = 13.; cost = 3. });
   Tracer.emit buf (Tracer.Failure { at = 15.; proc = 0 });
   Tracer.emit buf (Tracer.Waste { t0 = 13.; t1 = 15. });
   Tracer.emit buf (Tracer.Downtime { t0 = 15.; t1 = 16. });
   Tracer.emit buf (Tracer.Recovery_start { at = 16. });
   Tracer.emit buf (Tracer.Recovery_abort { t0 = 16.; t1 = 17. });
-  Tracer.emit buf (Tracer.Recovery_complete { t0 = 18.; t1 = 20. });
+  Tracer.emit buf (Tracer.Recovery_complete { t0 = 18.; t1 = 20.; cost = 2. });
   let t = Tracer.totals buf in
   close "work" 10. t.Tracer.work;
   close "checkpoint" 3. t.Tracer.checkpoint;
@@ -252,7 +252,7 @@ let test_chrome_export () =
 
 let test_jsonl_export () =
   let buf = Tracer.create_buffer ~capacity:16 ~name:"rep1/lines" () in
-  Tracer.emit buf (Tracer.Checkpoint { t0 = 0.; t1 = 1. });
+  Tracer.emit buf (Tracer.Checkpoint { t0 = 0.; t1 = 1.; cost = 1. });
   Tracer.emit buf (Tracer.Downtime { t0 = 1.; t1 = 2. });
   let path = Filename.temp_file "ckpt_trace" ".jsonl" in
   Fun.protect
