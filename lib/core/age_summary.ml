@@ -138,14 +138,21 @@ let log_survival_shift dist t e =
    term; hoist those into flat arrays once.  The sums run in the same
    order over the same floats as [log_survival_shift], so the results
    are bit-identical. *)
-let shift_evaluator ?cumulative_hazard dist t =
+let shift_evaluator ?cumulative_hazard ?cumulative_hazard_batch dist t =
   let h =
     match cumulative_hazard with
     | Some h -> h
     | None -> dist.Distribution.cumulative_hazard
   in
-  let h_exact = Array.map h t.exact in
-  let h_refs = Array.map h t.references in
+  (* The hoisted H(tau) halves are the one place every summary term is
+     queried at once; a batch evaluator (one tabulated-hazard
+     interpolation pass, bit-identical per element) amortizes the
+     closure dispatch there.  Per-probe queries below stay scalar. *)
+  let hb =
+    match cumulative_hazard_batch with Some hb -> hb | None -> Array.map h
+  in
+  let h_exact = hb t.exact in
+  let h_refs = hb t.references in
   let counts_f = Array.map float_of_int t.counts in
   let exact = t.exact and references = t.references and counts = t.counts in
   let nexact = Array.length exact and nrefs = Array.length references in

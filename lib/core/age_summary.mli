@@ -58,6 +58,7 @@ val log_survival_shift : Ckpt_distributions.Distribution.t -> t -> float -> floa
 
 val shift_evaluator :
   ?cumulative_hazard:(float -> float) ->
+  ?cumulative_hazard_batch:(float array -> float array) ->
   Ckpt_distributions.Distribution.t ->
   t ->
   float ->
@@ -68,7 +69,11 @@ val shift_evaluator :
     when probing many shifts of one summary (the DP's G table).
     [cumulative_hazard] substitutes a tabulated hazard (see
     {!Ckpt_distributions.Hazard_grid}) for the distribution's exact
-    one; results then differ by the grid's interpolation error. *)
+    one; results then differ by the grid's interpolation error.
+    [cumulative_hazard_batch] additionally supplies a batched form of
+    the same hazard (e.g. {!Ckpt_distributions.Hazard_grid.eval_batch})
+    used for the hoisted [H(tau_j)] arrays — it must be bit-identical
+    to mapping [cumulative_hazard], and only amortizes dispatch. *)
 
 val psuc : Ckpt_distributions.Distribution.t -> t -> elapsed:float -> duration:float -> float
 (** Probability that no summarized processor fails during

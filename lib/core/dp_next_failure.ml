@@ -64,7 +64,8 @@ let solve ?(max_states = 150) ?(truncation_factor = 2.) ?(prune = true) ?(hazard
     if hazard_grid_points > 0 then begin
       let span = Age_summary.max_age ages +. horizon +. step +. c in
       let grid = Hazard_grid.make dist ~hi:span ~points:hazard_grid_points in
-      Age_summary.shift_evaluator ~cumulative_hazard:(Hazard_grid.eval grid) dist ages
+      Age_summary.shift_evaluator ~cumulative_hazard:(Hazard_grid.eval grid)
+        ~cumulative_hazard_batch:(Hazard_grid.eval_batch grid) dist ages
     end
     else Age_summary.shift_evaluator dist ages
   in

@@ -28,3 +28,11 @@ val eval : t -> float -> float
 
 val points : t -> int
 val span : t -> float
+
+val eval_batch : t -> float array -> float array
+(** One interpolation pass over an array of query ages: hoists the
+    grid's fields out of the per-element work and walks the input in a
+    single counted loop.  Element [i] of the result is computed by the
+    very same operations as [eval t xs.(i)], so the batch is
+    bit-identical to the element-wise map — it only amortizes the
+    dispatch. *)

@@ -78,7 +78,9 @@ let dp_makespan ?quantum ?cap_states ?chunk_factor job =
             Some obs.Policy.remaining
           else Some (Policy.clamp_chunk ~remaining:obs.Policy.remaining chunk)
   in
-  { Policy.name = "DPMakespan"; instantiate }
+  (* The cursor makes each decision depend on the whole history, not
+     the current observation alone: never memoizable across replicates. *)
+  { Policy.name = "DPMakespan"; instantiate; decide = None }
 
 let dp_next_failure ?(nexact = Age_summary.default_nexact)
     ?(napprox = Age_summary.default_napprox) ?(max_states = 150) ?(truncation_factor = 2.)
@@ -145,4 +147,6 @@ let dp_next_failure ?(nexact = Age_summary.default_nexact)
             Some (Policy.clamp_chunk ~remaining:obs.Policy.remaining chunk)
       end
   in
-  { Policy.name = "DPNextFailure"; instantiate }
+  (* Stateful (pending plan and budget) and age-summary-driven: the
+     batch engine must run a fresh instance per replicate slot. *)
+  { Policy.name = "DPNextFailure"; instantiate; decide = None }

@@ -82,7 +82,7 @@ let interval _job table ~platform_age =
 
 let policy job =
   let table = build job in
-  Policy.stateless "Liu" (fun obs ->
+  Policy.pure_scalar "Liu" (fun obs ->
       let t = interval job table ~platform_age:obs.Policy.min_age in
       (* An interval shorter than the checkpoint itself is nonsensical:
          decline, as the paper does for [17]'s output. *)

@@ -15,13 +15,19 @@ type phase =
   | After_checkpoint  (** previous chunk committed successfully *)
   | After_recovery  (** a failure struck; recovery just completed *)
 
+(** The scalar fields are mutable so a driver stepping many executions
+    (the engine's scalar loop, the batch stripe engine) can reuse one
+    record per execution instead of allocating one per decision.
+    Policies must read the fields they need within the call and never
+    retain the record across decisions. *)
 type observation = {
-  phase : phase;
-  remaining : float;  (** work (seconds of [W(p)]) not yet checkpointed *)
+  mutable phase : phase;
+  mutable remaining : float;
+      (** work (seconds of [W(p)]) not yet checkpointed *)
   failure_units : int;
       (** independent failure sources (processors, or nodes when
           failures are node-grained). *)
-  min_age : float;
+  mutable min_age : float;
       (** time since the last platform-level failure; before any
           failure, the smallest initial unit age. *)
   iter_ages : (float -> unit) -> unit;
@@ -42,7 +48,20 @@ type instance = observation -> float option
     (callers clamp), or [None] when the policy cannot produce a
     meaningful chunk (the paper's Liu heuristic on small intervals). *)
 
-type t = { name : string; instantiate : unit -> instance }
+type t = {
+  name : string;
+  instantiate : unit -> instance;
+  decide : instance option;
+      (** [Some f] declares that the policy's decision is a pure
+          function of the {e scalar} observation fields alone —
+          [phase], [remaining], [failure_units], [min_age] — reading
+          neither [iter_ages] nor [summarize] and keeping no state
+          across decisions.  The batch engine memoizes such decisions
+          across the replicates of a stripe, keyed on the exact float
+          bits of those fields, so reuse is bit-identical by
+          construction.  Stateful policies (the DP plans) and policies
+          that consult the full age summary must leave this [None]. *)
+}
 
 val summarize_of_iter :
   units:int ->
@@ -55,11 +74,20 @@ val summarize_of_iter :
     of callers without incremental age state. *)
 
 val stateless : string -> (observation -> float option) -> t
-(** A policy whose decisions are a pure function of the observation. *)
+(** A policy whose decisions are a pure function of the observation —
+    possibly including the full age summary, so it makes no
+    memoization claim ([decide = None]).  Use {!pure_scalar} when the
+    decision reads only the scalar fields. *)
+
+val pure_scalar : string -> (observation -> float option) -> t
+(** Like {!stateless}, additionally declaring ([decide = Some f]) that
+    the decision depends only on the scalar observation fields, making
+    it safe for the batch engine's cross-replicate memo. *)
 
 val periodic : string -> period:float -> t
 (** Checkpoint every [period] seconds of work: chunks of
-    [min period remaining].  [None] if [period <= 0]. *)
+    [min period remaining].  [None] if [period <= 0].  Pure-scalar
+    (reads only [remaining]). *)
 
 val clamp_chunk : remaining:float -> float -> float
 (** Clamp a proposed chunk into (0, remaining]. *)

@@ -2,7 +2,15 @@ module Job = Ckpt_policies.Job
 module Policy = Ckpt_policies.Policy
 module Trace_set = Ckpt_failures.Trace_set
 module Tracer = Ckpt_telemetry.Tracer
+module Metrics = Ckpt_telemetry.Metrics
 module Age_summary = Ckpt_core.Age_summary
+
+(* Cross-replicate decision reuse and stripe occupancy of the batch
+   engine; fill under CKPT_METRICS=1 and surface in `ckpt stats` and
+   the OpenMetrics textfile. *)
+let memo_hits = Metrics.counter "engine/decision_memo_hits"
+let memo_misses = Metrics.counter "engine/decision_memo_misses"
+let batch_live_slots = Metrics.histogram "engine/batch_live_slots"
 
 type metrics = {
   makespan : float;
@@ -192,8 +200,20 @@ let handle_failure st ~date ~proc ~r =
   let ready = settle_downtime st ~date ~proc in
   recover ready
 
+let check_accounting ~clock m =
+  let residual = accounting_residual m and tol = accounting_tolerance ~clock m in
+  if not (residual <= tol) then
+    raise
+      (Accounting_violation
+         (Printf.sprintf
+            "makespan %.17g != useful %.17g + checkpoint %.17g + wasted %.17g + recovery %.17g \
+             + stall %.17g (residual %.3g, tolerance %.3g, %d chunks, %d failures)"
+            m.makespan m.useful_work m.checkpoint_time m.wasted_time m.recovery_time
+            m.stall_time residual tol m.chunks m.failures));
+  m
+
 let metrics_of st =
-  let m =
+  check_accounting ~clock:st.now
     {
       makespan = st.now -. st.start_time;
       useful_work = st.useful_work;
@@ -206,17 +226,6 @@ let metrics_of st =
       min_chunk = st.min_chunk;
       max_chunk = st.max_chunk;
     }
-  in
-  let residual = accounting_residual m and tol = accounting_tolerance ~clock:st.now m in
-  if not (residual <= tol) then
-    raise
-      (Accounting_violation
-         (Printf.sprintf
-            "makespan %.17g != useful %.17g + checkpoint %.17g + wasted %.17g + recovery %.17g \
-             + stall %.17g (residual %.3g, tolerance %.3g, %d chunks, %d failures)"
-            m.makespan m.useful_work m.checkpoint_time m.wasted_time m.recovery_time
-            m.stall_time residual tol m.chunks m.failures));
-  m
 
 let record_chunk st chunk =
   st.chunks <- st.chunks + 1;
@@ -242,7 +251,6 @@ let run_internal ~trace ~cost_profile ~scenario ~traces ~policy =
     | Some f -> f ~progress:(Float.max 0. (Float.min 1. (1. -. (remaining /. work_time))))
   in
   let instance = policy.Policy.instantiate () in
-  let phase = ref Policy.Start in
   let iter_ages f =
     Array.iter (fun ls -> f (Float.max 0. (st.now -. ls))) st.lifetime_start
   in
@@ -253,20 +261,26 @@ let run_internal ~trace ~cost_profile ~scenario ~traces ~policy =
         Policy.summarize_of_iter ~units:(Array.length st.lifetime_start) ~iter_ages ~nexact
           ~napprox dist
   in
+  (* One observation for the whole run: the scalar fields are mutable
+     and refreshed before every decision, so the loop allocates
+     nothing per decision (a mixed mutable record would box each float
+     store; the closures above are hoisted for the same reason). *)
+  let obs =
+    {
+      Policy.phase = Policy.Start;
+      remaining = st.remaining;
+      failure_units = Array.length st.lifetime_start;
+      min_age = 0.;
+      iter_ages;
+      summarize;
+    }
+  in
   let outcome = ref None in
-  while !outcome = None do
+  while Option.is_none !outcome do
     if st.remaining <= work_epsilon then outcome := Some (Completed (metrics_of st))
     else begin
-      let obs =
-        {
-          Policy.phase = !phase;
-          remaining = st.remaining;
-          failure_units = Array.length st.lifetime_start;
-          min_age = Float.max 0. (st.now -. st.last_failure_ref);
-          iter_ages;
-          summarize;
-        }
-      in
+      obs.Policy.remaining <- st.remaining;
+      obs.Policy.min_age <- Float.max 0. (st.now -. st.last_failure_ref);
       match instance obs with
       | None -> outcome := Some (Policy_failed { at_time = st.now; remaining = st.remaining })
       | Some chunk ->
@@ -298,10 +312,10 @@ let run_internal ~trace ~cost_profile ~scenario ~traces ~policy =
               st.useful_work <- st.useful_work +. chunk;
               st.checkpoint_time <- st.checkpoint_time +. c;
               record_chunk st chunk;
-              phase := Policy.After_checkpoint
+              obs.Policy.phase <- Policy.After_checkpoint
           | Some (date, proc) ->
               handle_failure st ~date ~proc ~r;
-              phase := Policy.After_recovery)
+              obs.Policy.phase <- Policy.After_recovery)
     end
   done;
   Option.get !outcome
@@ -379,3 +393,311 @@ let run_with_cost_profile ~cost_profile ~scenario ~traces ~policy =
 
 let run_with_cost_profile_traced ~trace ~cost_profile ~scenario ~traces ~policy =
   run_internal ~trace:(Some trace) ~cost_profile:(Some cost_profile) ~scenario ~traces ~policy
+
+(* -- engine selection -------------------------------------------------------- *)
+
+type kind = Scalar | Batch
+
+let warned_engine = Atomic.make ""
+
+(* Re-read per call so tests and benches can flip it with a scoped
+   putenv; warn once per distinct malformed value (the evaluation
+   harness consults this on every stripe). *)
+let selected_kind () =
+  match Sys.getenv_opt "CKPT_ENGINE" with
+  | None -> Batch
+  | Some s when String.trim s = "" -> Batch
+  | Some s -> (
+      match String.lowercase_ascii (String.trim s) with
+      | "batch" -> Batch
+      | "scalar" -> Scalar
+      | _ ->
+          if Atomic.get warned_engine <> s then begin
+            Atomic.set warned_engine s;
+            Printf.eprintf "ckpt: ignoring malformed CKPT_ENGINE=%S (want scalar or batch; using batch)\n%!" s
+          end;
+          Batch)
+
+(* -- batch (striped lockstep) execution -------------------------------------- *)
+
+(* Structure-of-arrays state for a replicate stripe stepped in
+   lockstep: index [k] of every array is one replicate's execution on
+   its own trace set.  The float accumulators live in unboxed float
+   arrays — the mixed mutable record of the scalar path boxes every
+   float store — and the per-slot age ledger is created lazily on the
+   slot's first [summarize] call: [Incremental.summarize] depends only
+   on the current birth multiset, so a ledger created mid-run from the
+   live [lifetime_start] answers bit-identically to one maintained
+   from the start, and slots whose policy never consults the platform
+   ages (the periodic family) skip the O(p log p) sort entirely. *)
+type stripe_state = {
+  b_job : Job.t;
+  b_start : float;
+  b_now : float array;
+  b_remaining : float array;
+  b_useful : float array;
+  b_checkpoint : float array;
+  b_wasted : float array;
+  b_recovery : float array;
+  b_stall : float array;
+  b_last_ref : float array;  (* last_failure_ref per slot *)
+  b_min_chunk : float array;
+  b_max_chunk : float array;
+  b_failures : int array;
+  b_chunks : int array;
+  b_event_index : int array;
+  b_events : (float * int) array array;  (* shared with the trace sets *)
+  b_lifetime : float array array;
+  b_down_until : float array array;
+  b_ages : Age_summary.Incremental.t option array;  (* lazy *)
+}
+
+(* The slot-indexed failure machinery below mirrors the scalar
+   [peek_effective_failure] / [settle_downtime] / [handle_failure] /
+   [record_chunk] operation for operation — same floats, same order —
+   so every slot's execution is bit-identical to a scalar run on the
+   same trace set (pinned by the batch/scalar property suite).  The
+   batch path never traces: tracing runs route to the scalar engine. *)
+
+let b_peek st k ~before =
+  let events = st.b_events.(k) in
+  let down = st.b_down_until.(k) in
+  let n = Array.length events in
+  let rec scan () =
+    let i = st.b_event_index.(k) in
+    if i >= n then None
+    else begin
+      let date, proc = events.(i) in
+      if date >= before then None
+      else if date < down.(proc) then begin
+        st.b_event_index.(k) <- i + 1;
+        scan ()
+      end
+      else Some (date, proc)
+    end
+  in
+  scan ()
+
+let b_consume st k = st.b_event_index.(k) <- st.b_event_index.(k) + 1
+
+let rec b_settle_downtime st k ~date ~proc =
+  let d = Job.downtime st.b_job in
+  st.b_failures.(k) <- st.b_failures.(k) + 1;
+  st.b_down_until.(k).(proc) <- date +. d;
+  (match st.b_ages.(k) with
+  | Some inc ->
+      Age_summary.Incremental.update inc ~old_birth:st.b_lifetime.(k).(proc)
+        ~new_birth:(date +. d)
+  | None -> ());
+  st.b_lifetime.(k).(proc) <- date +. d;
+  st.b_last_ref.(k) <- Float.max st.b_last_ref.(k) (date +. d);
+  let ready = date +. d in
+  match b_peek st k ~before:ready with
+  | None -> ready
+  | Some (date', proc') ->
+      b_consume st k;
+      Float.max ready (b_settle_downtime st k ~date:date' ~proc:proc')
+
+let b_handle_failure st k ~date ~proc ~r =
+  let rec recover ready =
+    st.b_stall.(k) <- st.b_stall.(k) +. (ready -. st.b_now.(k));
+    st.b_now.(k) <- ready;
+    match b_peek st k ~before:(ready +. r) with
+    | None ->
+        st.b_recovery.(k) <- st.b_recovery.(k) +. r;
+        st.b_now.(k) <- ready +. r
+    | Some (date', proc') ->
+        b_consume st k;
+        st.b_recovery.(k) <- st.b_recovery.(k) +. (date' -. ready);
+        st.b_now.(k) <- date';
+        let ready' = b_settle_downtime st k ~date:date' ~proc:proc' in
+        recover ready'
+  in
+  b_consume st k;
+  st.b_wasted.(k) <- st.b_wasted.(k) +. (date -. st.b_now.(k));
+  st.b_now.(k) <- date;
+  let ready = b_settle_downtime st k ~date ~proc in
+  recover ready
+
+let b_record_chunk st k chunk =
+  st.b_chunks.(k) <- st.b_chunks.(k) + 1;
+  if st.b_chunks.(k) = 1 then begin
+    st.b_min_chunk.(k) <- chunk;
+    st.b_max_chunk.(k) <- chunk
+  end
+  else begin
+    st.b_min_chunk.(k) <- Float.min st.b_min_chunk.(k) chunk;
+    st.b_max_chunk.(k) <- Float.max st.b_max_chunk.(k) chunk
+  end
+
+let b_metrics st k =
+  check_accounting ~clock:st.b_now.(k)
+    {
+      makespan = st.b_now.(k) -. st.b_start;
+      useful_work = st.b_useful.(k);
+      checkpoint_time = st.b_checkpoint.(k);
+      wasted_time = st.b_wasted.(k);
+      recovery_time = st.b_recovery.(k);
+      stall_time = st.b_stall.(k);
+      failures = st.b_failures.(k);
+      chunks = st.b_chunks.(k);
+      min_chunk = st.b_min_chunk.(k);
+      max_chunk = st.b_max_chunk.(k);
+    }
+
+let phase_tag = function Policy.Start -> 0 | Policy.After_checkpoint -> 1 | Policy.After_recovery -> 2
+
+let run_stripe ?initial_births ~scenario ~traces ~policy () =
+  let width = Array.length traces in
+  if width = 0 then [||]
+  else begin
+    let job = scenario.Scenario.job in
+    let start_time = scenario.Scenario.start_time in
+    (match initial_births with
+    | Some b when Array.length b <> width ->
+        invalid_arg "Engine.run_stripe: initial_births width mismatch"
+    | Some _ | None -> ());
+    (* The caller may hand over the initial lifetime template it
+       already computed for another policy's pass over the same trace
+       sets; copy, never adopt — the stripe mutates its lifetimes. *)
+    let lifetime =
+      match initial_births with
+      | Some b -> Array.map Array.copy b
+      | None -> Array.map (fun tr -> Scenario.initial_lifetime_starts scenario tr) traces
+    in
+    let st =
+      {
+        b_job = job;
+        b_start = start_time;
+        b_now = Array.make width start_time;
+        b_remaining = Array.make width job.Job.work_time;
+        b_useful = Array.make width 0.;
+        b_checkpoint = Array.make width 0.;
+        b_wasted = Array.make width 0.;
+        b_recovery = Array.make width 0.;
+        b_stall = Array.make width 0.;
+        b_last_ref = Array.map (fun ls -> Array.fold_left Float.max neg_infinity ls) lifetime;
+        b_min_chunk = Array.make width 0.;
+        b_max_chunk = Array.make width 0.;
+        b_failures = Array.make width 0;
+        b_chunks = Array.make width 0;
+        b_event_index = Array.map (fun tr -> Trace_set.next_event_index tr ~after:start_time) traces;
+        b_events = Array.map Trace_set.events traces;
+        b_lifetime = lifetime;
+        b_down_until = Array.map (fun ls -> Array.make (Array.length ls) neg_infinity) lifetime;
+        b_ages = Array.make width None;
+      }
+    in
+    let constant_c = Job.checkpoint_cost job in
+    let constant_r = Job.recovery_cost job in
+    let units = Array.length lifetime.(0) in
+    (* One reusable observation per slot, its closures bound to that
+       slot once — nothing is allocated per decision. *)
+    let obs =
+      Array.init width (fun k ->
+          let iter_ages f =
+            Array.iter (fun ls -> f (Float.max 0. (st.b_now.(k) -. ls))) st.b_lifetime.(k)
+          in
+          let summarize ~nexact ~napprox dist =
+            let inc =
+              match st.b_ages.(k) with
+              | Some inc -> inc
+              | None ->
+                  let inc = Age_summary.Incremental.create ~births:st.b_lifetime.(k) in
+                  st.b_ages.(k) <- Some inc;
+                  inc
+            in
+            Age_summary.Incremental.summarize ~nexact ~napprox inc dist ~now:st.b_now.(k)
+          in
+          {
+            Policy.phase = Policy.Start;
+            remaining = st.b_remaining.(k);
+            failure_units = units;
+            min_age = 0.;
+            iter_ages;
+            summarize;
+          })
+    in
+    (* Decision source.  A pure-scalar policy shares one memo across
+       the stripe: every replicate runs the same (policy, scenario), so
+       a decision keyed on the exact float bits of the scalar fields
+       the policy may read is computed once and reused bit-identically.
+       Anything else gets a fresh instance per slot, as the scalar
+       engine would. *)
+    let decide =
+      match policy.Policy.decide with
+      | Some f ->
+          let memo : (int * int64 * int64, float option) Hashtbl.t = Hashtbl.create 64 in
+          fun _k (o : Policy.observation) ->
+            let key =
+              (phase_tag o.Policy.phase, Int64.bits_of_float o.Policy.remaining,
+               Int64.bits_of_float o.Policy.min_age)
+            in
+            (match Hashtbl.find_opt memo key with
+            | Some d ->
+                Metrics.incr memo_hits;
+                d
+            | None ->
+                Metrics.incr memo_misses;
+                let d = f o in
+                Hashtbl.add memo key d;
+                d)
+      | None ->
+          let instances = Array.init width (fun _ -> policy.Policy.instantiate ()) in
+          fun k o -> instances.(k) o
+    in
+    let results = Array.make width None in
+    (* Lockstep rounds over the live slots, one decision + chunk
+       attempt per slot per round.  A slot that completes (or whose
+       policy declines) is swapped out of the live prefix, so
+       stragglers keep stepping without scanning finished slots. *)
+    let live = Array.init width Fun.id in
+    let nlive = ref width in
+    while !nlive > 0 do
+      Metrics.observe batch_live_slots (float_of_int !nlive);
+      let i = ref 0 in
+      while !i < !nlive do
+        let k = live.(!i) in
+        let finished =
+          if st.b_remaining.(k) <= work_epsilon then begin
+            results.(k) <- Some (Completed (b_metrics st k));
+            true
+          end
+          else begin
+            let o = obs.(k) in
+            o.Policy.remaining <- st.b_remaining.(k);
+            o.Policy.min_age <- Float.max 0. (st.b_now.(k) -. st.b_last_ref.(k));
+            match decide k o with
+            | None ->
+                results.(k) <-
+                  Some (Policy_failed { at_time = st.b_now.(k); remaining = st.b_remaining.(k) });
+                true
+            | Some chunk ->
+                let chunk =
+                  let c' = Policy.clamp_chunk ~remaining:st.b_remaining.(k) chunk in
+                  if c' < work_epsilon then st.b_remaining.(k) else c'
+                in
+                let finish = st.b_now.(k) +. chunk +. constant_c in
+                (match b_peek st k ~before:finish with
+                | None ->
+                    st.b_now.(k) <- finish;
+                    st.b_remaining.(k) <- st.b_remaining.(k) -. chunk;
+                    st.b_useful.(k) <- st.b_useful.(k) +. chunk;
+                    st.b_checkpoint.(k) <- st.b_checkpoint.(k) +. constant_c;
+                    b_record_chunk st k chunk;
+                    o.Policy.phase <- Policy.After_checkpoint
+                | Some (date, proc) ->
+                    b_handle_failure st k ~date ~proc ~r:constant_r;
+                    o.Policy.phase <- Policy.After_recovery);
+                false
+          end
+        in
+        if finished then begin
+          live.(!i) <- live.(!nlive - 1);
+          decr nlive
+        end
+        else incr i
+      done
+    done;
+    Array.map (function Some o -> o | None -> assert false) results
+  end

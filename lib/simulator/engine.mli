@@ -115,3 +115,41 @@ val lower_bound_traced :
   traces:Ckpt_failures.Trace_set.t ->
   metrics
 (** {!lower_bound} with the event stream of {!run_traced}. *)
+
+(** {2 Batch (striped lockstep) execution}
+
+    [run_stripe] steps a whole replicate stripe — one policy, one
+    scenario, one trace set per slot — in lockstep over a shared
+    timeline: structure-of-arrays accumulators (unboxed float arrays
+    indexed by replicate slot), one reusable mutable observation per
+    slot, a lazily created per-slot incremental age ledger, and a
+    cross-replicate decision memo for policies that declare
+    {!Ckpt_policies.Policy.t.decide}.  Every slot's outcome — metrics,
+    [Policy_failed] point, and the per-slot accounting identity
+    ({!Accounting_violation}) — is bit-identical to {!run} on the same
+    trace set.  Tracing and cost-profile runs have no batch
+    counterpart: they stay on the scalar engine. *)
+
+type kind = Scalar | Batch
+
+val selected_kind : unit -> kind
+(** The engine the evaluation harness should route replicates through:
+    [CKPT_ENGINE=scalar|batch], default [Batch].  Re-read per call;
+    malformed values warn once per distinct value and fall back to
+    [Batch]. *)
+
+val run_stripe :
+  ?initial_births:float array array ->
+  scenario:Scenario.t ->
+  traces:Ckpt_failures.Trace_set.t array ->
+  policy:Ckpt_policies.Policy.t ->
+  unit ->
+  outcome array
+(** Run [policy] on every slot's trace set; slot [k] of the result is
+    bit-identical to [run ~scenario ~traces:traces.(k) ~policy].
+    [initial_births] optionally supplies each slot's
+    {!Scenario.initial_lifetime_starts} (computed once by a caller
+    running several policies over the same trace sets); the stripe
+    copies it, never mutates it.  An empty [traces] yields [[||]].
+    @raise Invalid_argument if [initial_births] is present with a
+    different width than [traces]. *)

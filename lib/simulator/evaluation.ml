@@ -14,6 +14,11 @@ let trace_gen_seconds = Metrics.histogram "eval/trace_gen_seconds"
 let replicates_run = Metrics.counter "eval/replicates"
 let unusable_replicates = Metrics.counter "eval/unusable_replicates"
 
+(* Wall-clock spent inside [Engine.run_stripe] (one policy's pass over
+   a whole stripe), batch path only; the per-replicate histograms
+   above are scalar-path instruments. *)
+let stripe_engine_seconds = Metrics.timer "eval/stripe_engine_seconds"
+
 (* Simulated waste decomposition of every completed run, one histogram
    per component (seconds of simulated time); fills under
    CKPT_METRICS=1 and shows up in `ckpt stats` and the OpenMetrics
@@ -272,6 +277,87 @@ let run_replicate ~scenario ~policies replicate =
   end;
   { rep_accs; rep_lb; rep_usable }
 
+(* Stripe-level sibling of [run_replicate]: generates the stripe's
+   trace sets, computes each slot's initial lifetime template once
+   (shared by every policy's pass), steps every policy over the whole
+   stripe through the batch engine, then reassembles per-replicate
+   outcomes in canonical slot order.  Each slot's accumulators receive
+   exactly the operands [run_replicate] would feed them, in the same
+   order, so the reduced table is bit-identical to the scalar path.
+   The omniscient bound never consults a policy — nothing to batch —
+   and stays on the scalar engine.  Callers must route tracing runs to
+   [run_replicate]; there is no traced batch engine. *)
+let run_replicate_stripe ~scenario ~policies ~first ~len =
+  let metered = Metrics.enabled () in
+  let observed hist f =
+    if not metered then f ()
+    else begin
+      let t0 = Unix.gettimeofday () in
+      let v = f () in
+      Metrics.observe hist (Unix.gettimeofday () -. t0);
+      v
+    end
+  in
+  let traces =
+    Instrument.time "trace-generation" (fun () ->
+        Array.init len (fun i ->
+            observed trace_gen_seconds (fun () ->
+                Scenario.traces scenario ~replicate:(first + i))))
+  in
+  let initial_births =
+    Array.map (fun tr -> Scenario.initial_lifetime_starts scenario tr) traces
+  in
+  (* One engine pass per policy over the full stripe; [policy_runs.(j).(i)]
+     is policy [j]'s outcome on replicate [first + i]. *)
+  let policy_runs =
+    Array.map
+      (fun policy ->
+        Instrument.time policy.Policy.name (fun () ->
+            if not metered then Engine.run_stripe ~initial_births ~scenario ~traces ~policy ()
+            else begin
+              let t0 = Unix.gettimeofday () in
+              let runs = Engine.run_stripe ~initial_births ~scenario ~traces ~policy () in
+              Metrics.record stripe_engine_seconds (Unix.gettimeofday () -. t0);
+              runs
+            end))
+      policies
+  in
+  Array.init len (fun i ->
+      let best =
+        Array.fold_left
+          (fun acc runs ->
+            match runs.(i) with
+            | Engine.Completed m -> Float.min acc m.Engine.makespan
+            | Engine.Policy_failed _ -> acc)
+          infinity policy_runs
+      in
+      let rep_accs = Array.map (fun _ -> fresh_accumulator ()) policies in
+      let rep_lb = fresh_accumulator () in
+      let rep_usable = Float.is_finite best && best > 0. in
+      if rep_usable then begin
+        Array.iteri
+          (fun j runs ->
+            match runs.(i) with
+            | Engine.Completed m -> record rep_accs.(j) ~degradation:(m.Engine.makespan /. best) m
+            | Engine.Policy_failed _ -> ())
+          policy_runs;
+        let lb =
+          Instrument.time "LowerBound" (fun () ->
+              Engine.lower_bound ~scenario ~traces:traces.(i))
+        in
+        record rep_lb ~degradation:(lb.Engine.makespan /. best) lb
+      end;
+      if metered then begin
+        Metrics.incr replicates_run;
+        if not rep_usable then Metrics.incr unusable_replicates
+      end;
+      { rep_accs; rep_lb; rep_usable })
+
+(* The batch engine has no event-stream counterpart: tracing pins the
+   scalar path regardless of CKPT_ENGINE. *)
+let use_batch_engine () =
+  (not (Tracer.enabled ())) && Engine.selected_kind () = Engine.Batch
+
 (* -- replicate stripes -------------------------------------------------------
 
    Replicates are grouped into contiguous stripes of [stripe_size]
@@ -329,8 +415,10 @@ let stripe_partial ~scenario ~policies ~replicates ~stripe =
   let policy_array = Array.of_list policies in
   let names = Array.map (fun p -> p.Policy.name) policy_array in
   let outcomes =
-    Domain_pool.parallel_init len (fun i ->
-        run_replicate ~scenario ~policies:policy_array (first + i))
+    if use_batch_engine () then run_replicate_stripe ~scenario ~policies:policy_array ~first ~len
+    else
+      Domain_pool.parallel_init len (fun i ->
+          run_replicate ~scenario ~policies:policy_array (first + i))
   in
   partial_of_outcomes ~policy_names:names outcomes ~first:0 ~len
 
@@ -507,10 +595,30 @@ let degradation_table ~scenario ~policies ~replicates =
      order: the merge sequence — hence the table — is bit-for-bit
      independent of the domain count and of the scheduler backend. *)
   let outcomes =
-    Domain_pool.parallel_init replicates (fun replicate ->
-        let o = run_replicate ~scenario ~policies:policy_array replicate in
-        Option.iter Instrument.step progress;
-        o)
+    if use_batch_engine () then begin
+      (* The batch engine amortizes work across a stripe's replicates,
+         so the unit of parallel work is the whole stripe; flattening
+         in stripe order preserves replicate order, and the slot
+         results are bit-identical to the scalar fan-out, so the
+         reduction below is unchanged. *)
+      let sz = stripe_size () in
+      let stripes =
+        Domain_pool.parallel_init (stripe_count ~replicates) (fun stripe ->
+            let first = stripe * sz in
+            let len = min sz (replicates - first) in
+            let os = run_replicate_stripe ~scenario ~policies:policy_array ~first ~len in
+            (match progress with
+            | Some p -> for _ = 1 to len do Instrument.step p done
+            | None -> ());
+            os)
+      in
+      Array.concat (Array.to_list stripes)
+    end
+    else
+      Domain_pool.parallel_init replicates (fun replicate ->
+          let o = run_replicate ~scenario ~policies:policy_array replicate in
+          Option.iter Instrument.step progress;
+          o)
   in
   (* Reduce through the same stripe structure the sweep store persists
      (within-stripe in replicate order, then across stripes in stripe

@@ -13,7 +13,16 @@
     are merged serially in replicate order ({!Ckpt_numerics.Summary.merge}),
     so the table is bit-for-bit identical for every domain count.
     Set [CKPT_VERBOSE=1] for per-policy wall-clock and replicate
-    progress reporting (see {!Instrument}). *)
+    progress reporting (see {!Instrument}).
+
+    Under the default [CKPT_ENGINE=batch] (see {!Engine.selected_kind})
+    each stripe of replicates runs through {!Engine.run_stripe} — one
+    lockstep pass per policy over the whole stripe, the unit of
+    parallel work becoming the stripe — and the per-slot outcomes are
+    bit-identical to the scalar engine's, so every table below is
+    unchanged by the engine choice.  Tracing runs ([CKPT_TRACE]) pin
+    the scalar path: the batch engine has no event-stream
+    counterpart. *)
 
 (** Distributional view of a policy's completed runs, derived from the
     exact {!Ckpt_numerics.Summary.Vector} accumulator: makespan

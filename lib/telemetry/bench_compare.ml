@@ -92,7 +92,16 @@ let contains ~needle hay =
 (* Workload-shape numbers: a mismatch means the two artifacts measured
    different experiments, not the same experiment at different speed. *)
 let config_leaves =
-  [ "replicates"; "processors"; "policies"; "configurations"; "runs"; "domains"; "processor_counts" ]
+  [
+    "replicates";
+    "processors";
+    "policies";
+    "configurations";
+    "runs";
+    "domains";
+    "processor_counts";
+    "stripe";
+  ]
 
 let classify path =
   let leaf = leaf_name path in

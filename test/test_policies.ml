@@ -64,6 +64,34 @@ let test_clamp_chunk () =
   close "keeps below" 5. (Policy.clamp_chunk ~remaining:10. 5.);
   close "floors at zero" 0. (Policy.clamp_chunk ~remaining:10. (-3.))
 
+let test_purity_declarations () =
+  (* The [decide] field is the batch engine's licence to memoize a
+     policy's decisions across replicate slots.  Pure scalar policies
+     must declare it; anything stateful (the DP cursors) or
+     constructed through the no-promises [stateless] escape hatch must
+     not — a wrong declaration here silently corrupts batch runs. *)
+  let pure p = Option.is_some p.Policy.decide in
+  check Alcotest.bool "periodic is pure" true (pure (Policy.periodic "p" ~period:500.));
+  check Alcotest.bool "pure_scalar is pure" true
+    (pure (Policy.pure_scalar "f" (fun _ -> None)));
+  check Alcotest.bool "stateless makes no promise" false
+    (pure (Policy.stateless "s" (fun _ -> None)));
+  check Alcotest.bool "Young is pure" true (pure (Young.policy sequential_job));
+  check Alcotest.bool "Liu is pure" true (pure (Liu.policy (petascale_job ~shape:0.7)));
+  check Alcotest.bool "DPNextFailure is stateful" false
+    (pure (Dp_policies.dp_next_failure sequential_job));
+  check Alcotest.bool "DPMakespan is stateful" false
+    (pure (Dp_policies.dp_makespan sequential_job));
+  (* A declared [decide] must be the very decision function the
+     instances run: same observation, same answer. *)
+  let p = Policy.periodic "p" ~period:500. in
+  match p.Policy.decide with
+  | None -> Alcotest.fail "periodic lost its purity declaration"
+  | Some f ->
+      let obs = observation ~remaining:1e6 () in
+      check (Alcotest.option (Alcotest.float 0.)) "decide == instance" (p.Policy.instantiate () obs)
+        (f obs)
+
 (* -- job -------------------------------------------------------------------- *)
 
 let test_job_validation () =
@@ -388,6 +416,7 @@ let () =
           Alcotest.test_case "periodic chunks" `Quick test_periodic_chunks;
           Alcotest.test_case "periodic declines on bad period" `Quick test_periodic_invalid_period;
           Alcotest.test_case "clamp" `Quick test_clamp_chunk;
+          Alcotest.test_case "purity declarations" `Quick test_purity_declarations;
         ] );
       ( "job",
         [

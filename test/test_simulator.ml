@@ -942,6 +942,147 @@ let test_profile_stripe_sched_bit_identity () =
         [ "seq"; "steal" ])
     [ 1; 4; 16 ]
 
+(* -- batch (striped lockstep) engine ---------------------------------------- *)
+
+(* The tentpole guarantee: every slot of [Engine.run_stripe] is
+   bit-identical to a scalar [Engine.run] on the same trace set —
+   across distributions, policy kinds (memoizable pure-scalar,
+   non-pure, declining mid-run), stripe widths, and a nonzero
+   start_time (exercising the initial-lifetime template).  The
+   declining policy makes some slots finish as [Policy_failed] while
+   others keep stepping: the straggler compaction path. *)
+let prop_batch_equals_scalar =
+  QCheck2.Test.make ~name:"run_stripe slot k == run on traces k (dist x policy x width)"
+    ~count:40
+    QCheck2.Gen.(quad (int_range 0 1) (int_range 0 2) (int_range 0 10_000) (int_range 0 2))
+    (fun (dist_i, policy_i, replicate, width_i) ->
+      let dist =
+        if dist_i = 0 then Exponential.of_mtbf ~mtbf:2500.
+        else Weibull.of_mtbf ~mtbf:2500. ~shape:0.7
+      in
+      let scenario =
+        Scenario.create ~horizon:1e7
+          ~start_time:(if replicate land 1 = 0 then 0. else 2000.)
+          (Job.create ~dist ~processors:2
+             ~machine:
+               (Machine.create ~total_processors:2 ~downtime:40.
+                  ~overhead:(Overhead.constant 120.))
+             ~work_time:15_000.)
+      in
+      let policy =
+        match policy_i with
+        | 0 -> Policy.periodic "p" ~period:1200.
+        | 1 ->
+            (* Pure-scalar (memoized) but declining below a remaining
+               threshold: Policy_failed slots become stragglers the
+               live-slot compaction must not disturb. *)
+            Policy.pure_scalar "quits" (fun obs ->
+                if obs.Policy.remaining < 6000. then None else Some 1500.)
+        | _ ->
+            (* Not declared pure: per-slot instances, no memo; the
+               decision depends on min_age so observations genuinely
+               vary across slots. *)
+            Policy.stateless "agey" (fun obs ->
+                Some (Float.max 400. (1000. +. (0.1 *. obs.Policy.min_age))))
+      in
+      let width = [| 1; 3; 16 |].(width_i) in
+      let traces =
+        Array.init width (fun k -> Scenario.traces scenario ~replicate:(replicate + k))
+      in
+      let scalar = Array.map (fun tr -> Engine.run ~scenario ~traces:tr ~policy) traces in
+      let batch = Engine.run_stripe ~scenario ~traces ~policy () in
+      compare scalar batch = 0)
+
+let test_batch_dp_policy_bit_identical () =
+  (* DPNextFailure is the policy the batch engine's lazy age ledger
+     and batched hazard lookups exist for — and, being stateful, the
+     one that must never hit the decision memo. *)
+  let job =
+    Job.create
+      ~dist:(Weibull.of_mtbf ~mtbf:1e6 ~shape:0.7)
+      ~processors:64
+      ~machine:
+        (Machine.create ~total_processors:64 ~downtime:60. ~overhead:(Overhead.constant 600.))
+      ~work_time:5e5
+  in
+  let scenario = Scenario.create ~horizon:1e7 ~start_time:0. job in
+  let policy = Ckpt_policies.Dp_policies.dp_next_failure ~max_states:60 job in
+  let traces = Array.init 3 (fun replicate -> Scenario.traces scenario ~replicate) in
+  let scalar = Array.map (fun tr -> Engine.run ~scenario ~traces:tr ~policy) traces in
+  let batch = Engine.run_stripe ~scenario ~traces ~policy () in
+  check Alcotest.bool "DP policy batch == scalar" true (compare scalar batch = 0)
+
+let test_engine_matrix_bit_identity () =
+  (* Golden matrix: the full degradation table (Welford columns
+     included) at every CKPT_ENGINE x CKPT_SCHED combination equals
+     the scalar/sequential reference of the same stripe width. *)
+  let policies () =
+    [ Policy.periodic "a" ~period:900.; Policy.periodic "b" ~period:2000.;
+      Ckpt_policies.Dp_policies.dp_makespan ~cap_states:40 (eval_scenario ()).Scenario.job ]
+  in
+  let table_with ~engine ~sched ~stripe =
+    with_env "CKPT_ENGINE" engine (fun () ->
+        with_env "CKPT_SCHED" sched (fun () ->
+            with_env "CKPT_SWEEP_STRIPE" (string_of_int stripe) (fun () ->
+                Evaluation.degradation_table ~scenario:(eval_scenario ())
+                  ~policies:(policies ()) ~replicates:9)))
+  in
+  List.iter
+    (fun stripe ->
+      let reference = table_with ~engine:"scalar" ~sched:"seq" ~stripe in
+      List.iter
+        (fun (engine, sched) ->
+          let t = table_with ~engine ~sched ~stripe in
+          check Alcotest.bool
+            (Printf.sprintf "engine=%s sched=%s stripe=%d == scalar/seq reference" engine
+               sched stripe)
+            true
+            (compare reference t = 0))
+        [ ("batch", "seq"); ("scalar", "steal"); ("batch", "steal") ])
+    [ 1; 4; 16 ]
+
+let test_batch_memo_hits () =
+  (* Eight identical failure-free slots under a pure-scalar policy:
+     every slot's decisions are the same observation tuple, so the
+     stripe pays one policy evaluation per distinct decision and the
+     memo serves the other seven slots. *)
+  Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ~prefix:"engine/" ())
+    (fun () ->
+      Metrics.reset ~prefix:"engine/" ();
+      let scenario = tiny_scenario () in
+      let width = 8 in
+      let traces = Array.init width (fun _ -> traces_of_failures ~units:1 [ (0, []) ]) in
+      let outcomes = Engine.run_stripe ~scenario ~traces ~policy:period600 () in
+      Array.iter
+        (function
+          | Engine.Completed _ -> ()
+          | Engine.Policy_failed _ -> Alcotest.fail "periodic cannot fail")
+        outcomes;
+      let counter name =
+        match Metrics.find name with Some (Metrics.Counter n) -> n | _ -> 0
+      in
+      (* Periodic-600 over W = 1000 makes exactly two decisions per
+         slot (chunks 600 and 400). *)
+      check Alcotest.int "distinct decisions solved once" 2
+        (counter "engine/decision_memo_misses");
+      check Alcotest.int "remaining slots served by the memo"
+        (2 * (width - 1))
+        (counter "engine/decision_memo_hits"))
+
+let test_selected_kind_env () =
+  check Alcotest.bool "default is batch" true
+    (with_env "CKPT_ENGINE" "" (fun () -> Engine.selected_kind () = Engine.Batch));
+  check Alcotest.bool "scalar opt-out" true
+    (with_env "CKPT_ENGINE" "scalar" (fun () -> Engine.selected_kind () = Engine.Scalar));
+  check Alcotest.bool "explicit batch" true
+    (with_env "CKPT_ENGINE" "batch" (fun () -> Engine.selected_kind () = Engine.Batch));
+  check Alcotest.bool "malformed falls back to batch" true
+    (with_env "CKPT_ENGINE" "turbo" (fun () -> Engine.selected_kind () = Engine.Batch))
+
 let test_instrument_scoped_resets () =
   Metrics.set_enabled true;
   Fun.protect
@@ -968,7 +1109,8 @@ let test_instrument_scoped_resets () =
           check Alcotest.int "fresh timers per outermost scope" 1 (calls ())))
 
 let qcheck_cases =
-  List.map QCheck_alcotest.to_alcotest [ prop_metrics_partition; prop_metrics_partition_weibull ]
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_metrics_partition; prop_metrics_partition_weibull; prop_batch_equals_scalar ]
 
 let () =
   Alcotest.run "simulator"
@@ -1020,6 +1162,14 @@ let () =
             test_profile_accounting_identity;
           Alcotest.test_case "profile stripe x sched bit-identity" `Quick
             test_profile_stripe_sched_bit_identity;
+        ] );
+      ( "batch engine",
+        [
+          Alcotest.test_case "DP policy bit-identical" `Quick test_batch_dp_policy_bit_identical;
+          Alcotest.test_case "engine x sched x stripe golden matrix" `Quick
+            test_engine_matrix_bit_identity;
+          Alcotest.test_case "decision memo hits" `Quick test_batch_memo_hits;
+          Alcotest.test_case "CKPT_ENGINE selection" `Quick test_selected_kind_env;
         ] );
       ( "period search",
         [

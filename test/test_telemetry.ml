@@ -610,6 +610,58 @@ let test_bench_diff_improvement () =
           check Alcotest.bool "improvement flagged" true
             (List.exists (fun c -> c.Bench_compare.c_improved) v.Bench_compare.v_comparisons))
 
+(* The engine bench's throughput leaves follow the [*_per_sec]
+   higher-better convention, nested inside a curve; its workload-shape
+   key [stripe] must gate comparability like replicates/processors
+   do. *)
+let engine_bench_artifact ~batch_rps ~stripe =
+  Printf.sprintf
+    {|{"bench": "engine-throughput", "replicates": 32, "stripe": %d, "engine": "scalar-vs-batch", "curve": [ { "processors": 16384, "scalar_replicates_per_sec": 120.0, "batch_replicates_per_sec": %g, "speedup": 2.5 } ], "deterministic": true}|}
+    stripe batch_rps
+
+let test_bench_diff_replicates_per_sec_higher_better () =
+  with_temp_dir (fun dir ->
+      let old_p = Filename.concat dir "BENCH_engine_old.json" in
+      let new_p = Filename.concat dir "BENCH_engine_new.json" in
+      write_file old_p (engine_bench_artifact ~batch_rps:800. ~stripe:16);
+      write_file (old_p ^ ".meta.json") (bench_sidecar ~domains:4);
+      (* A 12.5% throughput drop: a lower-better misclassification
+         would read it as an improvement and exit 0. *)
+      write_file new_p (engine_bench_artifact ~batch_rps:700. ~stripe:16);
+      write_file (new_p ^ ".meta.json") (bench_sidecar ~domains:4);
+      match Bench_compare.diff ~old_path:old_p ~new_path:new_p () with
+      | Error e -> Alcotest.failf "diff failed: %s" e
+      | Ok v ->
+          check Alcotest.int "regression exit code" Bench_compare.exit_regression
+            (Bench_compare.exit_code v);
+          let c =
+            List.find
+              (fun c -> contains ~needle:"batch_replicates_per_sec" c.Bench_compare.c_metric)
+              v.Bench_compare.v_comparisons
+          in
+          check Alcotest.bool "classified higher-better" true
+            (c.Bench_compare.c_direction = Bench_compare.Higher_better);
+          check Alcotest.bool "drop flagged as regression" true c.Bench_compare.c_regressed;
+          close ~tol:1e-6 "delta percent" (-12.5) c.Bench_compare.c_delta)
+
+let test_bench_diff_stripe_is_config () =
+  with_temp_dir (fun dir ->
+      let old_p = Filename.concat dir "BENCH_engine_old.json" in
+      let new_p = Filename.concat dir "BENCH_engine_new.json" in
+      write_file old_p (engine_bench_artifact ~batch_rps:800. ~stripe:16);
+      write_file (old_p ^ ".meta.json") (bench_sidecar ~domains:4);
+      (* Same speeds measured at a different stripe width: a different
+         experiment, not a regression. *)
+      write_file new_p (engine_bench_artifact ~batch_rps:800. ~stripe:8);
+      write_file (new_p ^ ".meta.json") (bench_sidecar ~domains:4);
+      match Bench_compare.diff ~old_path:old_p ~new_path:new_p () with
+      | Error e -> Alcotest.failf "diff failed: %s" e
+      | Ok v ->
+          check Alcotest.int "incomparable exit code" Bench_compare.exit_incomparable
+            (Bench_compare.exit_code v);
+          check Alcotest.bool "mismatch names stripe" true
+            (List.exists (contains ~needle:"stripe") v.Bench_compare.v_config_mismatches))
+
 let test_bench_diff_incomparable () =
   with_temp_dir (fun dir ->
       let old_p = Filename.concat dir "BENCH_old.json" in
@@ -720,6 +772,9 @@ let () =
           Alcotest.test_case "self-diff is clean" `Quick test_bench_diff_self;
           Alcotest.test_case "detects regression" `Quick test_bench_diff_regression;
           Alcotest.test_case "improvement passes" `Quick test_bench_diff_improvement;
+          Alcotest.test_case "replicates_per_sec is higher-better" `Quick
+            test_bench_diff_replicates_per_sec_higher_better;
+          Alcotest.test_case "stripe is configuration" `Quick test_bench_diff_stripe_is_config;
           Alcotest.test_case "sidecar disagreement" `Quick test_bench_diff_incomparable;
           Alcotest.test_case "unreadable input errors" `Quick test_bench_diff_unreadable;
           Alcotest.test_case "check validates artifacts" `Quick test_bench_check;
