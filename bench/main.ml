@@ -57,6 +57,17 @@
       CKPT_BENCH_SMOKE=1 shrinks the replicate count for CI.  Skip
       with CKPT_SKIP_ENGINE_BENCH=1.
 
+   8. A sweep-worker benchmark: `ckpt sweep --workers N` on the
+      sweep-smoke study at N in {1, 2, 4} over fresh stores, reporting
+      units/second and the speedup over one worker, written to
+      BENCH_sweep.json with the physical core count recorded.  Every
+      N's CSV output must be byte-identical to N = 1; points with more
+      workers than cores are flagged oversubscribed and never verify
+      the speedup target, and under CKPT_BENCH_ASSERT=1 an
+      unverifiable target (or a miss) fails the run, stage-6-style.
+      CKPT_BENCH_SMOKE=1 shrinks the workload.  Skip with
+      CKPT_SKIP_SWEEP_BENCH=1.
+
    Every BENCH_*.json gains a provenance sidecar (<file>.meta.json). *)
 
 open Bechamel
@@ -886,6 +897,220 @@ let run_engine_bench () =
         }\n"
        replicates engine_bench_stripe curve_json speedup_at_16384)
 
+(* -- stage 8: multi-process sweep workers ----------------------------------- *)
+
+let sweep_worker_counts = [ 1; 2; 4 ]
+let sweep_bench_stripe = 4
+
+let sweep_bench_traces () =
+  if Sys.getenv_opt "CKPT_BENCH_SMOKE" = Some "1" then 16 else 48
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun name -> rm_rf (Filename.concat path name)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+
+(* The worker path spawns processes, so this stage drives the real ckpt
+   binary (built alongside this bench executable) end to end rather
+   than calling into the library: what is measured is exactly what a
+   user runs. *)
+let ckpt_exe () =
+  let dir = Filename.dirname Sys.executable_name in
+  let candidate = Filename.concat dir (Filename.concat ".." "bin/ckpt.exe") in
+  if Sys.file_exists candidate then Some candidate else None
+
+let run_sweep_bench () =
+  let traces = sweep_bench_traces () in
+  Printf.printf
+    "\n=== Sweep workers (ckpt sweep --workers N, sweep-smoke, %d replicates, stripe %d) ===\n%!"
+    traces sweep_bench_stripe;
+  let assert_enabled = Sys.getenv_opt "CKPT_BENCH_ASSERT" = Some "1" in
+  match ckpt_exe () with
+  | None ->
+      Printf.printf "SKIP: ckpt binary not found next to the bench executable\n%!";
+      if assert_enabled then begin
+        Printf.eprintf "FAIL: CKPT_BENCH_ASSERT=1 but the sweep-worker stage could not run\n%!";
+        exit 1
+      end
+  | Some exe ->
+      let physical_cores = Domain.recommended_domain_count () in
+      let oversubscribed workers = workers > physical_cores in
+      let base =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "ckpt-bench-sweep.%d" (Unix.getpid ()))
+      in
+      rm_rf base;
+      Ckpt_store.Atomic_file.mkdir_p base;
+      let run_one workers =
+        let store = Filename.concat base (Printf.sprintf "store-w%d" workers) in
+        let results = Filename.concat base (Printf.sprintf "results-w%d" workers) in
+        let log = Filename.concat base (Printf.sprintf "sweep-w%d.log" workers) in
+        with_env "CKPT_TRACES" (string_of_int traces) (fun () ->
+            with_env "CKPT_SWEEP_STRIPE" (string_of_int sweep_bench_stripe) (fun () ->
+                with_env "CKPT_RESULTS_DIR" results (fun () ->
+                    let fd = Unix.openfile log [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+                    let t0 = Unix.gettimeofday () in
+                    let pid =
+                      Unix.create_process exe
+                        [|
+                          exe; "sweep"; "--resume"; store; "--workers";
+                          string_of_int workers; "sweep-smoke";
+                        |]
+                        Unix.stdin fd fd
+                    in
+                    Unix.close fd;
+                    let _, status = Unix.waitpid [] pid in
+                    let seconds = Unix.gettimeofday () -. t0 in
+                    (match status with
+                    | Unix.WEXITED 0 -> ()
+                    | _ ->
+                        Printf.eprintf
+                          "FAIL: ckpt sweep --workers %d did not exit cleanly (see %s)\n%!"
+                          workers log;
+                        exit 1);
+                    let units =
+                      Array.fold_left
+                        (fun n name ->
+                          if Filename.check_suffix name ".part" then n + 1 else n)
+                        0 (Sys.readdir store)
+                    in
+                    Printf.printf
+                      "workers=%d: %7.3f s   %d units (%6.2f units/s)%s\n%!" workers
+                      seconds units
+                      (float_of_int units /. seconds)
+                      (if oversubscribed workers then
+                         Printf.sprintf "   [oversubscribed: %d physical cores]"
+                           physical_cores
+                       else "");
+                    (workers, seconds, units, results))))
+      in
+      let runs = List.map run_one sweep_worker_counts in
+      (* Byte-identity of every worker count's CSV output against the
+         serial run: the whole point of the claim-and-merge design. *)
+      let csvs dir =
+        match Sys.readdir dir with
+        | names ->
+            let l =
+              Array.to_list names |> List.filter (fun n -> Filename.check_suffix n ".csv")
+            in
+            List.sort compare l
+        | exception Sys_error _ -> []
+      in
+      let reference =
+        match List.find_opt (fun (w, _, _, _) -> w = 1) runs with
+        | Some (_, _, _, results) -> results
+        | None -> assert false
+      in
+      let identical = ref true in
+      List.iter
+        (fun (workers, _, _, results) ->
+          if workers <> 1 then begin
+            let names = csvs results in
+            if names <> csvs reference then identical := false
+            else
+              List.iter
+                (fun name ->
+                  let read dir = Ckpt_store.Atomic_file.read (Filename.concat dir name) in
+                  if read results <> read reference then identical := false)
+                names
+          end)
+        runs;
+      Printf.printf "byte-identical: %s\n%!"
+        (if !identical then "every worker count reproduces the serial CSVs"
+         else "MISMATCH against the --workers 1 output");
+      if not !identical then exit 1;
+      let serial_seconds =
+        match List.find_opt (fun (w, _, _, _) -> w = 1) runs with
+        | Some (_, s, _, _) -> s
+        | None -> assert false
+      in
+      (* As in stage 6, the speedup target only means something where
+         the workers are real cores. *)
+      let target_points =
+        List.filter (fun (w, _, _, _) -> w >= 2 && not (oversubscribed w)) runs
+      in
+      let target_verifiable = target_points <> [] in
+      let best_speedup =
+        List.fold_left
+          (fun acc (_, s, _, _) -> Float.max acc (serial_seconds /. s))
+          0. target_points
+      in
+      if not target_verifiable then begin
+        Printf.printf
+          "OVERSUBSCRIBED: only %d physical core(s); every multi-worker point exceeds the \
+           machine, so the worker-speedup target cannot be verified on this host\n%!"
+          physical_cores;
+        if assert_enabled then begin
+          Printf.eprintf
+            "FAIL: CKPT_BENCH_ASSERT=1 but the sweep-worker target is unverifiable (%d \
+             physical cores < 2)\n%!"
+            physical_cores;
+          exit 1
+        end
+      end
+      else begin
+        Printf.printf "best multi-worker speedup: %.2fx (target 1.3x)\n%!" best_speedup;
+        if best_speedup < 1.3 then begin
+          if assert_enabled then begin
+            Printf.eprintf "FAIL: sweep workers below the 1.3x speedup target\n%!";
+            exit 1
+          end
+          else
+            Printf.printf "WARNING: below the 1.3x target (CKPT_BENCH_ASSERT=1 enforces)\n%!"
+        end
+      end;
+      let units_total =
+        match runs with (_, _, units, _) :: _ -> units | [] -> 0
+      in
+      let curve_json =
+        String.concat ",\n"
+          (List.map
+             (fun (workers, seconds, units, _) ->
+               Printf.sprintf
+                 "    { \"workers\": %d, \"seconds\": %.6f, \"units_per_sec\": %.3f, \
+                  \"speedup\": %.3f, \"oversubscribed\": %b }"
+                 workers seconds
+                 (float_of_int units /. seconds)
+                 (serial_seconds /. seconds)
+                 (oversubscribed workers))
+             runs)
+      in
+      let oversubscribed_workers =
+        List.filter_map
+          (fun (w, _, _, _) -> if oversubscribed w then Some (string_of_int w) else None)
+          runs
+      in
+      write_bench_json ~path:"BENCH_sweep.json"
+        ~meta:
+          [
+            ("bench", "sweep-workers");
+            ("physical_cores", string_of_int physical_cores);
+            ("worker_counts",
+             String.concat "," (List.map string_of_int sweep_worker_counts));
+            ("oversubscribed_worker_counts", String.concat "," oversubscribed_workers);
+          ]
+        (Printf.sprintf
+           "{\n\
+           \  \"bench\": \"sweep-workers\",\n\
+           \  \"experiment\": \"sweep-smoke\",\n\
+           \  \"replicates\": %d,\n\
+           \  \"stripe\": %d,\n\
+           \  \"units\": %d,\n\
+           \  \"physical_cores\": %d,\n\
+           \  \"curve\": [\n\
+            %s\n\
+           \  ],\n\
+           \  \"best_speedup_at_2plus\": %.3f,\n\
+           \  \"target_verifiable\": %b,\n\
+           \  \"byte_identical\": true\n\
+            }\n"
+           traces sweep_bench_stripe units_total physical_cores curve_json best_speedup
+           target_verifiable);
+      rm_rf base
+
 let () =
   (* Long bench runs are natural sampler customers: with
      CKPT_METRICS_INTERVAL set the trajectory of every stage lands in
@@ -899,4 +1124,5 @@ let () =
   if not (skip "CKPT_SKIP_TELEMETRY_BENCH") then run_telemetry_bench ();
   if not (skip "CKPT_SKIP_SOLVER_BENCH") then run_solver_bench ~baselines ();
   if not (skip "CKPT_SKIP_SCHED_BENCH") then run_sched_bench ();
-  if not (skip "CKPT_SKIP_ENGINE_BENCH") then run_engine_bench ()
+  if not (skip "CKPT_SKIP_ENGINE_BENCH") then run_engine_bench ();
+  if not (skip "CKPT_SKIP_SWEEP_BENCH") then run_sweep_bench ()

@@ -738,7 +738,35 @@ let sweep_cmd =
   let traces_arg =
     Arg.(value & opt int 0 & info [ "traces" ] ~docv:"N" ~doc:"Replicates per configuration.")
   in
-  let run ids resume full traces =
+  let workers_arg =
+    let doc =
+      "Worker processes claiming units from the shared store (claim markers arbitrate, no \
+       coordinator); the parent then merges in canonical order, so output is byte-identical \
+       to $(b,--workers 1).  Defaults to $(b,CKPT_SWEEP_WORKERS) (else 1)."
+    in
+    Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let run_ids config ids =
+    match ids with
+    | [] | [ "all" ] -> E.Registry.run_all config
+    | ids ->
+        List.iter
+          (fun id ->
+            match E.Registry.find id with
+            | Some e -> e.E.Registry.run config
+            | None ->
+                Printf.eprintf "unknown experiment %S; known: %s\n" id
+                  (String.concat ", " (E.Registry.ids ()));
+                exit 2)
+          ids
+  in
+  let print_stats ~label (s : E.Sweep_store.stats) =
+    Printf.printf
+      "%s: %d units skipped, %d computed, %d invalidated, %d claimed, %d busy, %d reaped\n%!"
+      label s.E.Sweep_store.skipped s.E.Sweep_store.computed s.E.Sweep_store.invalidated
+      s.E.Sweep_store.claimed s.E.Sweep_store.busy s.E.Sweep_store.reaped
+  in
+  let run ids resume full traces workers =
     let config = E.Config.default () in
     let dir =
       match resume with
@@ -750,32 +778,82 @@ let sweep_cmd =
               prerr_endline "ckpt sweep: pass --resume DIR (or set CKPT_SWEEP_DIR)";
               exit 2)
     in
+    let replicates = if traces > 0 then traces else config.E.Config.replicates in
     let config =
       {
         config with
         E.Config.full = config.E.Config.full || full;
-        replicates = (if traces > 0 then traces else config.E.Config.replicates);
+        replicates;
         sweep_dir = Some dir;
       }
     in
+    let store = E.Sweep_store.create ~dir in
     E.Sweep_store.reset_stats ();
-    (match ids with
-    | [] | [ "all" ] -> E.Registry.run_all config
-    | ids ->
-        List.iter
-          (fun id ->
-            match E.Registry.find id with
-            | Some e -> e.E.Registry.run config
-            | None ->
-                Printf.eprintf "unknown experiment %S; known: %s\n" id
-                  (String.concat ", " (E.Registry.ids ()));
-                exit 2)
-          ids);
-    let s = E.Sweep_store.stats () in
-    Printf.printf "sweep store %s: %d units skipped, %d computed, %d invalidated\n%!" dir
-      s.E.Sweep_store.skipped s.E.Sweep_store.computed s.E.Sweep_store.invalidated
+    match E.Sweep_workers.worker_index () with
+    | Some index ->
+        (* Child process spawned by the parent below: compute claimed
+           units, write the stats file, and exit — the parent renders
+           all output. *)
+        E.Sweep_workers.run_as_worker ~store ~index (fun () -> run_ids config ids)
+    | None ->
+        let workers =
+          match workers with Some n -> n | None -> E.Sweep_workers.default_workers ()
+        in
+        if workers < 1 then begin
+          prerr_endline "ckpt sweep: --workers must be >= 1";
+          exit 2
+        end;
+        if workers > 1 then begin
+          (* Respawn this exact invocation as marked worker children;
+             explicit --traces/--full pin the resolved values so the
+             children cannot drift from the parent's config. *)
+          let args =
+            Array.of_list
+              (Sys.argv.(0) :: "sweep" :: "--resume" :: dir :: "--traces"
+               :: string_of_int replicates
+               :: ((if config.E.Config.full then [ "--full" ] else []) @ ids))
+          in
+          Printf.printf "sweep: launching %d workers over %s\n%!" workers dir;
+          let summary =
+            E.Sweep_workers.launch ~store ~workers ~exe:Sys.executable_name ~args
+              ~progress:(fun ~alive ~units ->
+                Printf.printf "sweep: %d units in store, %d workers running\n%!" units
+                  alive)
+              ()
+          in
+          List.iter
+            (fun r ->
+              let status =
+                match r.E.Sweep_workers.r_outcome with
+                | E.Sweep_workers.Finished -> "finished"
+                | E.Sweep_workers.Failed n -> Printf.sprintf "FAILED (exit %d)" n
+                | E.Sweep_workers.Signaled s -> Printf.sprintf "KILLED (signal %d)" s
+              in
+              let counts =
+                match r.E.Sweep_workers.r_stats with
+                | Some s ->
+                    Printf.sprintf "%d computed, %d skipped, %d busy, %d reaped"
+                      s.E.Sweep_store.computed s.E.Sweep_store.skipped
+                      s.E.Sweep_store.busy s.E.Sweep_store.reaped
+                | None -> "no stats file"
+              in
+              Printf.printf "sweep: worker %d (pid %d) %s in %.1fs: %s\n%!"
+                r.E.Sweep_workers.r_index r.E.Sweep_workers.r_pid status
+                r.E.Sweep_workers.r_seconds counts)
+            summary.E.Sweep_workers.workers;
+          if summary.E.Sweep_workers.crashed > 0 then
+            Printf.printf
+              "sweep: %d worker(s) crashed; %d leftover claim(s) reaped — the merge pass \
+               below recomputes whatever they left unfinished\n%!"
+              summary.E.Sweep_workers.crashed summary.E.Sweep_workers.claims_reaped;
+          E.Sweep_store.reset_stats ()
+        end;
+        (* The canonical pass: with workers it loads what they computed
+           and fills any holes; alone it is the whole sweep. *)
+        run_ids config ids;
+        print_stats ~label:(Printf.sprintf "sweep store %s" dir) (E.Sweep_store.stats ())
   in
-  let term = Term.(const run $ ids_arg $ resume_arg $ full_arg $ traces_arg) in
+  let term = Term.(const run $ ids_arg $ resume_arg $ full_arg $ traces_arg $ workers_arg) in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:

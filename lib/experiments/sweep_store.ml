@@ -21,16 +21,43 @@ let dir t = t.root
 let of_config config =
   match config.Config.sweep_dir with None -> None | Some d -> Some (create ~dir:d)
 
+(* -- worker mode -------------------------------------------------------------
+
+   In worker mode (set by the per-process sweep workers of
+   [Sweep_workers], never by the parent) a missing unit is computed
+   only after winning its claim marker; units claimed by another live
+   worker are skipped and the caller substitutes a merge-neutral
+   placeholder.  Worker-side reductions are discarded — only the
+   parent's canonical pass renders output — so the placeholder never
+   reaches a table anyone reads. *)
+
+let worker_flag = Atomic.make false
+let set_worker_mode b = Atomic.set worker_flag b
+let worker_mode () = Atomic.get worker_flag
+
 (* -- unit counters ----------------------------------------------------------- *)
 
-type stats = { skipped : int; computed : int; invalidated : int }
+type stats = {
+  skipped : int;
+  computed : int;
+  invalidated : int;
+  claimed : int;
+  busy : int;
+  reaped : int;
+}
 
 let skipped = Atomic.make 0
 let computed = Atomic.make 0
 let invalidated = Atomic.make 0
+let claimed = Atomic.make 0
+let busy = Atomic.make 0
+let reaped = Atomic.make 0
 let m_skipped = Metrics.counter "sweep/units_skipped"
 let m_computed = Metrics.counter "sweep/units_computed"
 let m_invalidated = Metrics.counter "sweep/units_invalidated"
+let m_claimed = Metrics.counter "sweep/claims_won"
+let m_busy = Metrics.counter "sweep/claims_busy"
+let m_reaped = Metrics.counter "sweep/claims_reaped"
 
 let bump cell counter =
   Atomic.incr cell;
@@ -38,12 +65,16 @@ let bump cell counter =
 
 let stats () =
   { skipped = Atomic.get skipped; computed = Atomic.get computed;
-    invalidated = Atomic.get invalidated }
+    invalidated = Atomic.get invalidated; claimed = Atomic.get claimed;
+    busy = Atomic.get busy; reaped = Atomic.get reaped }
 
 let reset_stats () =
   Atomic.set skipped 0;
   Atomic.set computed 0;
-  Atomic.set invalidated 0
+  Atomic.set invalidated 0;
+  Atomic.set claimed 0;
+  Atomic.set busy 0;
+  Atomic.set reaped 0
 
 (* -- content addressing ------------------------------------------------------
 
@@ -110,11 +141,115 @@ let unit_path store ~experiment ~digest ~stripe =
    name and contents disagree (manual copies, filesystem corruption);
    such a unit counts as invalidated and is recomputed in place. *)
 
+(* -- claim markers -----------------------------------------------------------
+
+   A claim is a cooperative lock on one unit: `<unit>.claim`, created
+   with O_EXCL (the one filesystem operation whose winner is
+   unambiguous even on shared filesystems), carrying an advisory
+   pid/host/timestamp payload.  Claims only gate *worker-mode compute*;
+   loads never consult them and the parent's canonical pass ignores
+   them entirely, so a wedged claim can cost duplicated work but never
+   wrong output — unit writes are atomic and idempotent under the
+   content key, so two processes computing the same unit produce the
+   same bytes and the loser's rename is harmless.
+
+   Staleness has two triggers: a dead pid (checked only for same-host
+   claims, where [kill pid 0] is meaningful) and an age beyond
+   CKPT_SWEEP_CLAIM_TTL (default 10 min) for everything else, including
+   claims whose payload has not landed yet or is torn.  Reaping races
+   (two workers both observing a stale claim, or the holder releasing
+   between our check and our unlink) at worst duplicate one unit's
+   compute — see above. *)
+
+module Claim = struct
+  let format = "ckpt-claim/1"
+  let path unit_path = unit_path ^ ".claim"
+  let default_ttl = 600.
+
+  let ttl () =
+    match Sys.getenv_opt "CKPT_SWEEP_CLAIM_TTL" with
+    | Some s -> (
+        match float_of_string_opt (String.trim s) with
+        | Some t when t >= 0. -> t
+        | Some _ | None -> default_ttl)
+    | None -> default_ttl
+
+  let payload ~pid ~host ~time =
+    Printf.sprintf "%s pid=%d host=%s time=%h\n" format pid host time
+
+  let write ~path ~pid ~host ~time =
+    Atomic_file.write ~fsync:false ~path (payload ~pid ~host ~time)
+
+  let parse contents =
+    match
+      String.split_on_char ' ' (String.trim contents)
+      |> List.filter (fun s -> s <> "")
+    with
+    | [ fmt; pid; host; time ]
+      when fmt = format
+           && String.starts_with ~prefix:"pid=" pid
+           && String.starts_with ~prefix:"host=" host
+           && String.starts_with ~prefix:"time=" time -> (
+        let drop prefix s =
+          String.sub s (String.length prefix) (String.length s - String.length prefix)
+        in
+        match
+          (int_of_string_opt (drop "pid=" pid), float_of_string_opt (drop "time=" time))
+        with
+        | Some pid, Some time -> Some (pid, drop "host=" host, time)
+        | _ -> None)
+    | _ -> None
+
+  let pid_alive pid =
+    match Unix.kill pid 0 with
+    | () -> true
+    | exception Unix.Unix_error (ESRCH, _, _) -> false
+    (* EPERM means the pid exists but belongs to someone else. *)
+    | exception Unix.Unix_error (_, _, _) -> true
+
+  let stale ~now path =
+    match Atomic_file.read path with
+    | None -> false (* vanished — nothing left to reap *)
+    | Some contents -> (
+        match parse contents with
+        | Some (pid, host, time) ->
+            if host = Unix.gethostname () && not (pid_alive pid) then true
+            else now -. time > ttl ()
+        | None -> (
+            (* Empty or torn payload: the creator may still be between
+               O_EXCL and write.  Fresh until its mtime ages out. *)
+            match Atomic_file.modification_time path with
+            | Some mtime -> now -. mtime > ttl ()
+            | None -> false))
+
+  let acquire unit_path =
+    let cpath = path unit_path in
+    let mine () =
+      payload ~pid:(Unix.getpid ()) ~host:(Unix.gethostname ())
+        ~time:(Unix.gettimeofday ())
+    in
+    let rec attempt retries =
+      if Atomic_file.create_exclusive ~path:cpath (mine ()) then `Won
+      else if retries > 0 && stale ~now:(Unix.gettimeofday ()) cpath then begin
+        Atomic_file.remove cpath;
+        bump reaped m_reaped;
+        attempt (retries - 1)
+      end
+      else `Busy
+    in
+    attempt 3
+
+  let release unit_path = Atomic_file.remove (path unit_path)
+end
+
 let header ~digest ~stripe = Printf.sprintf "ckpt-sweep/1 %s stripe=%d" digest stripe
 
-let load ~path ~digest ~stripe ~decode =
+(* Inspect a unit file without touching the counters — the per-call
+   accounting lives in [load_or_compute_opt], which may examine the
+   same path more than once while arbitrating a claim. *)
+let examine ~path ~digest ~stripe ~decode =
   match Atomic_file.read path with
-  | None -> None
+  | None -> `Absent
   | Some contents -> (
       let valid =
         match String.index_opt contents '\n' with
@@ -123,13 +258,7 @@ let load ~path ~digest ~stripe ~decode =
             if String.sub contents 0 i <> header ~digest ~stripe then None
             else decode (String.sub contents (i + 1) (String.length contents - i - 1))
       in
-      match valid with
-      | Some v ->
-          bump skipped m_skipped;
-          Some v
-      | None ->
-          bump invalidated m_invalidated;
-          None)
+      match valid with Some v -> `Valid v | None -> `Corrupt)
 
 let persist ~path ~digest ~stripe ~fields payload =
   Atomic_file.write ~path (header ~digest ~stripe ^ "\n" ^ payload);
@@ -137,14 +266,162 @@ let persist ~path ~digest ~stripe ~fields payload =
     ~extra:(("unit_stripe", string_of_int stripe) :: fields)
     ~path ()
 
-let load_or_compute ~path ~digest ~stripe ~fields ~decode ~encode compute =
-  match load ~path ~digest ~stripe ~decode with
-  | Some v -> v
-  | None ->
-      let v = compute () in
-      persist ~path ~digest ~stripe ~fields (encode v);
-      bump computed m_computed;
-      v
+let compute_and_persist ~path ~digest ~stripe ~fields ~encode compute =
+  let v = compute () in
+  persist ~path ~digest ~stripe ~fields (encode v);
+  bump computed m_computed;
+  v
+
+(* [None] only in worker mode, for a unit another live worker holds. *)
+let load_or_compute_opt ~path ~digest ~stripe ~fields ~decode ~encode compute =
+  let ex () = examine ~path ~digest ~stripe ~decode in
+  match ex () with
+  | `Valid v ->
+      bump skipped m_skipped;
+      Some v
+  | (`Absent | `Corrupt) as first ->
+      if first = `Corrupt then bump invalidated m_invalidated;
+      if not (worker_mode ()) then
+        Some (compute_and_persist ~path ~digest ~stripe ~fields ~encode compute)
+      else begin
+        match Claim.acquire path with
+        | `Won -> (
+            bump claimed m_claimed;
+            (* The previous holder may have persisted the unit and
+               released between our first look and our win. *)
+            match ex () with
+            | `Valid v ->
+                Claim.release path;
+                bump skipped m_skipped;
+                Some v
+            | `Absent | `Corrupt ->
+                let v =
+                  Fun.protect
+                    ~finally:(fun () -> Claim.release path)
+                    (fun () ->
+                      compute_and_persist ~path ~digest ~stripe ~fields ~encode compute)
+                in
+                Some v)
+        | `Busy -> (
+            (* The holder may have finished while we were acquiring. *)
+            match ex () with
+            | `Valid v ->
+                bump skipped m_skipped;
+                Some v
+            | `Absent | `Corrupt ->
+                bump busy m_busy;
+                None)
+      end
+
+
+(* -- unit / claim enumeration ------------------------------------------------
+
+   The unit set of a sweep is defined by the deterministic experiment
+   enumeration (every process derives the same keys from the same ids
+   and config); the store directory is the ground truth of which units
+   are done.  These listings are for progress reporting, tests and
+   tooling — never for correctness decisions. *)
+
+type unit_info = {
+  u_path : string;
+  u_experiment : string;
+  u_digest : string;
+  u_stripe : int;
+}
+
+(* "<experiment>-<digest:32>.stripe<NNN>.part"; [sanitize] means the
+   experiment stem cannot itself contain a '.'. *)
+let parse_unit_name root name =
+  if not (Filename.check_suffix name ".part") then None
+  else begin
+    let stem = Filename.chop_suffix name ".part" in
+    match String.rindex_opt stem '.' with
+    | None -> None
+    | Some dot -> (
+        let base = String.sub stem 0 dot in
+        let tag = String.sub stem (dot + 1) (String.length stem - dot - 1) in
+        let digest_len = 32 in
+        if
+          String.starts_with ~prefix:"stripe" tag
+          && String.length base > digest_len + 1
+          && base.[String.length base - digest_len - 1] = '-'
+        then
+          match int_of_string_opt (String.sub tag 6 (String.length tag - 6)) with
+          | None -> None
+          | Some stripe ->
+              Some
+                {
+                  u_path = Filename.concat root name;
+                  u_experiment =
+                    String.sub base 0 (String.length base - digest_len - 1);
+                  u_digest =
+                    String.sub base (String.length base - digest_len) digest_len;
+                  u_stripe = stripe;
+                }
+        else None)
+  end
+
+let readdir_sorted root =
+  match Sys.readdir root with
+  | names ->
+      Array.sort compare names;
+      Array.to_list names
+  | exception Sys_error _ -> []
+
+let units t = List.filter_map (parse_unit_name t.root) (readdir_sorted t.root)
+
+type claim_info = {
+  c_path : string;
+  c_pid : int option;
+  c_host : string option;
+  c_age : float;
+  c_stale : bool;
+}
+
+let claims t =
+  let now = Unix.gettimeofday () in
+  readdir_sorted t.root
+  |> List.filter (fun name -> Filename.check_suffix name ".claim")
+  |> List.filter_map (fun name ->
+         let path = Filename.concat t.root name in
+         match Atomic_file.read path with
+         | None -> None (* released while we were listing *)
+         | Some contents ->
+             let pid, host, age =
+               match Claim.parse contents with
+               | Some (pid, host, time) -> (Some pid, Some host, now -. time)
+               | None -> (
+                   ( None,
+                     None,
+                     match Atomic_file.modification_time path with
+                     | Some mtime -> now -. mtime
+                     | None -> 0. ))
+             in
+             Some
+               {
+                 c_path = path;
+                 c_pid = pid;
+                 c_host = host;
+                 c_age = age;
+                 c_stale = Claim.stale ~now path;
+               })
+
+(* [all:true] is for the parent after every worker has been reaped via
+   waitpid: any surviving claim's owner is dead by construction. *)
+let reap_claims ?(all = false) t =
+  let now = Unix.gettimeofday () in
+  readdir_sorted t.root
+  |> List.filter (fun name -> Filename.check_suffix name ".claim")
+  |> List.fold_left
+       (fun n name ->
+         let path = Filename.concat t.root name in
+         if all || Claim.stale ~now path then begin
+           Atomic_file.remove path;
+           bump reaped m_reaped;
+           n + 1
+         end
+         else n)
+       0
 
 (* -- entry points ------------------------------------------------------------ *)
 
@@ -157,12 +434,18 @@ let degradation_table ?store ?(params = []) ~experiment ~scenario ~policies ~rep
         fingerprint ~kind:"table" ~experiment ~scenario ~policy_names ~replicates ~params
       in
       let digest = digest_of fields in
+      let names = Array.of_list policy_names in
       let partials =
         Domain_pool.parallel_init (Evaluation.stripe_count ~replicates) (fun stripe ->
             let path = unit_path store ~experiment ~digest ~stripe in
-            load_or_compute ~path ~digest ~stripe ~fields
-              ~decode:Evaluation.deserialize_partial ~encode:Evaluation.serialize_partial
-              (fun () -> Evaluation.stripe_partial ~scenario ~policies ~replicates ~stripe))
+            match
+              load_or_compute_opt ~path ~digest ~stripe ~fields
+                ~decode:Evaluation.deserialize_partial
+                ~encode:Evaluation.serialize_partial (fun () ->
+                  Evaluation.stripe_partial ~scenario ~policies ~replicates ~stripe)
+            with
+            | Some p -> p
+            | None -> Evaluation.empty_partial ~policy_names:names)
       in
       Evaluation.table_of_partials (Array.to_list partials)
 
@@ -272,8 +555,12 @@ let vectors ?store ?(params = []) ~experiment ~scenario ~replicates ~width ~f ()
                   Some rows
               | _ -> None
             in
-            load_or_compute ~path ~digest ~stripe ~fields ~decode
-              ~encode:encode_vectors compute)
+            (match
+               load_or_compute_opt ~path ~digest ~stripe ~fields ~decode
+                 ~encode:encode_vectors compute
+             with
+            | Some rows -> rows
+            | None -> Array.init len (fun _ -> Array.make width 0.)))
   in
   Array.concat (Array.to_list stripe_arrays)
 
@@ -294,7 +581,11 @@ let floats ?store ?(params = []) ~experiment ~scenario ~replicates ~f () =
             in
             let digest = digest_of fields in
             let path = unit_path store ~experiment ~digest ~stripe in
-            load_or_compute ~path ~digest ~stripe ~fields ~decode:decode_floats
-              ~encode:encode_floats compute)
+            (match
+               load_or_compute_opt ~path ~digest ~stripe ~fields ~decode:decode_floats
+                 ~encode:encode_floats compute
+             with
+            | Some arr -> arr
+            | None -> Array.make len 0.))
   in
   Array.concat (Array.to_list stripe_arrays)

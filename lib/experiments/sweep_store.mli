@@ -19,7 +19,24 @@
 
     Point the store at a directory with [CKPT_SWEEP_DIR=<dir>] (or
     [ckpt sweep --resume <dir>]); without it every entry point below
-    degrades to the plain, storeless computation. *)
+    degrades to the plain, storeless computation.
+
+    {2 Multi-process sweeps}
+
+    The store doubles as a coordinator-free distribution substrate
+    ([ckpt sweep --workers N], {!Sweep_workers}).  Worker processes run
+    the same deterministic experiment enumeration against the shared
+    directory in {e worker mode}: a missing unit is computed only after
+    winning its {e claim marker} — [<unit>.claim], created O_EXCL with
+    a pid/host/timestamp payload; create wins, losers move on and
+    substitute a merge-neutral placeholder.  Claims whose owner is dead
+    (same-host pid check) or older than [CKPT_SWEEP_CLAIM_TTL] (default
+    10 min) are reaped and re-claimed, so a SIGKILLed worker never
+    wedges a sweep.  Claims gate only worker-mode compute: loads never
+    consult them, the parent's canonical pass ignores them, and unit
+    writes are atomic and idempotent under the content key — a reaping
+    race at worst duplicates one unit's compute, never corrupts
+    output. *)
 
 type t
 (** A sweep store rooted at a directory. *)
@@ -33,15 +50,79 @@ val dir : t -> string
 val of_config : Config.t -> t option
 (** The store named by the config's [sweep_dir], if any. *)
 
-type stats = { skipped : int; computed : int; invalidated : int }
-(** Process-wide unit counters since the last {!reset_stats}: units
-    loaded from the store, units computed (and persisted), and unit
-    files found corrupt and recomputed.  Mirrored as telemetry
-    counters [sweep/units_skipped], [sweep/units_computed],
-    [sweep/units_invalidated] when [CKPT_METRICS=1]. *)
+type stats = {
+  skipped : int;  (** units loaded from the store *)
+  computed : int;  (** units computed and persisted *)
+  invalidated : int;  (** unit files found corrupt and recomputed *)
+  claimed : int;  (** worker mode: claim markers won *)
+  busy : int;  (** worker mode: units skipped, held by a live worker *)
+  reaped : int;  (** stale claim markers removed *)
+}
+(** Process-wide unit counters since the last {!reset_stats}.  Mirrored
+    as telemetry counters [sweep/units_skipped], [sweep/units_computed],
+    [sweep/units_invalidated], [sweep/claims_won], [sweep/claims_busy],
+    [sweep/claims_reaped] when [CKPT_METRICS=1]. *)
 
 val stats : unit -> stats
 val reset_stats : unit -> unit
+
+val set_worker_mode : bool -> unit
+(** Switch this process into (or out of) worker mode — see the module
+    preamble.  Set once by {!Sweep_workers.run_as_worker}; the parent
+    process must never enable it, so its final pass computes every
+    missing unit regardless of leftover claims. *)
+
+val worker_mode : unit -> bool
+
+(** The claim-marker protocol, exposed for tests and tooling.  Normal
+    code never calls these directly: worker-mode entry points claim and
+    release internally. *)
+module Claim : sig
+  val path : string -> string
+  (** The claim marker guarding a unit file: [<unit>.claim]. *)
+
+  val ttl : unit -> float
+  (** Claim time-to-live in seconds: [CKPT_SWEEP_CLAIM_TTL] when set to
+      a non-negative number, 600 otherwise. *)
+
+  val write : path:string -> pid:int -> host:string -> time:float -> unit
+  (** Forge a claim marker with an explicit payload (tests use this to
+      simulate live, dead and foreign-host workers). *)
+
+  val stale : now:float -> string -> bool
+  (** Whether the claim at [path] is reapable at time [now]: its pid is
+      dead (same-host claims only) or its age exceeds {!ttl}.  A
+      missing file is not stale; an unparsable payload ages from the
+      file's mtime. *)
+end
+
+type unit_info = {
+  u_path : string;
+  u_experiment : string;
+  u_digest : string;
+  u_stripe : int;
+}
+
+val units : t -> unit_info list
+(** The completed units on disk, sorted by file name.  Progress
+    reporting and tooling only — correctness always re-derives the
+    unit set from the experiment enumeration. *)
+
+type claim_info = {
+  c_path : string;
+  c_pid : int option;  (** [None] when the payload is torn/unwritten *)
+  c_host : string option;
+  c_age : float;  (** seconds since the claim's timestamp (or mtime) *)
+  c_stale : bool;
+}
+
+val claims : t -> claim_info list
+(** Outstanding claim markers, sorted by file name. *)
+
+val reap_claims : ?all:bool -> t -> int
+(** Remove stale claim markers (all of them with [~all:true] — only
+    safe once every worker has been waited on) and return the count
+    removed. *)
 
 val degradation_table :
   ?store:t ->

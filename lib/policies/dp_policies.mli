@@ -7,7 +7,17 @@ val dp_makespan :
     fresh-platform distribution) — "without this assumption this
     heuristic cannot be used" (Section 4.1).  Solved tables are cached
     across executions per initial-age bucket (the optimal plan varies
-    slowly with [tau0]). *)
+    slowly with [tau0]) in a per-domain LRU cache bounded by
+    [CKPT_DP_CACHE_CAP] entries (default 64; 0 = unbounded) so
+    long-running sweep workers keep flat memory across scenarios.
+    Eviction only forces a deterministic re-solve at the bucket's
+    canonical age — results are bit-identical at any cap.  Telemetry:
+    [dp_makespan/table_cache_entries] gauge (occupancy, per-domain
+    last-writer-wins) and [dp_makespan/table_cache_evictions]
+    counter. *)
+
+val table_cache_size : unit -> int
+(** Occupancy of the calling domain's DPMakespan table cache (tests). *)
 
 val dp_next_failure :
   ?nexact:int ->

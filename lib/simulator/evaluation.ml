@@ -383,6 +383,13 @@ let stripe_count ~replicates =
   let sz = stripe_size () in
   (replicates + sz - 1) / sz
 
+let stripe_bounds ~replicates ~stripe =
+  if replicates <= 0 then invalid_arg "Evaluation.stripe_bounds: replicates must be positive";
+  let sz = stripe_size () in
+  let first = stripe * sz in
+  if stripe < 0 || first >= replicates then invalid_arg "Evaluation.stripe_bounds: no such stripe";
+  (first, min sz (replicates - first))
+
 type partial = {
   p_policies : string array;  (* policy names, input order *)
   p_accs : accumulator array;
@@ -405,13 +412,18 @@ let partial_of_outcomes ~policy_names outcomes ~first ~len =
   done;
   { p_policies = policy_names; p_accs = accs; p_lb = lb; p_usable = !usable; p_replicates = len }
 
+(* A merge-neutral partial: zero replicates, fresh accumulators, the
+   given roster.  Sweep workers substitute it for units another worker
+   currently holds — worker-side reductions are discarded (only the
+   parent's canonical pass renders output), so the placeholder merely
+   keeps the roster checks in [table_of_partials] satisfied. *)
+let empty_partial ~policy_names =
+  partial_of_outcomes ~policy_names [||] ~first:0 ~len:0
+
 let stripe_partial ~scenario ~policies ~replicates ~stripe =
   if replicates <= 0 then invalid_arg "Evaluation.stripe_partial: replicates must be positive";
   if policies = [] then invalid_arg "Evaluation.stripe_partial: no policies";
-  let sz = stripe_size () in
-  let first = stripe * sz in
-  if stripe < 0 || first >= replicates then invalid_arg "Evaluation.stripe_partial: no such stripe";
-  let len = min sz (replicates - first) in
+  let first, len = stripe_bounds ~replicates ~stripe in
   let policy_array = Array.of_list policies in
   let names = Array.map (fun p -> p.Policy.name) policy_array in
   let outcomes =

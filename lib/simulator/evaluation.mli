@@ -105,6 +105,24 @@ val stripe_count : replicates:int -> int
 (** Number of stripes covering [replicates] at the current width.
     @raise Invalid_argument if [replicates <= 0]. *)
 
+val stripe_bounds : replicates:int -> stripe:int -> int * int
+(** [(first, len)] of stripe [stripe] at the current width — the
+    replicate indices covered are [first, first + len).  This is the
+    unit-granularity contract shared by the compute path
+    ({!stripe_partial}) and the distribution substrate
+    ({!Ckpt_experiments.Sweep_store}): a unit is fully described by
+    (scenario, policies, stripe index), independent of which process
+    computes it.
+    @raise Invalid_argument on an out-of-range stripe or
+    [replicates <= 0]. *)
+
+val empty_partial : policy_names:string array -> partial
+(** A merge-neutral placeholder with the given roster: zero replicates,
+    empty accumulators.  Merging it into {!table_of_partials} changes
+    nothing.  Sweep workers substitute it for units currently claimed
+    by another worker, since worker-side tables are discarded and only
+    the parent's canonical merge renders output. *)
+
 val stripe_partial :
   scenario:Scenario.t ->
   policies:Ckpt_policies.Policy.t list ->

@@ -68,6 +68,38 @@ let write ?(fsync = true) ~path contents =
       (try Sys.remove tmp with Sys_error _ -> ());
       raise e
 
+(* Exclusive creation is the one primitive where the *existence* of the
+   file, not its contents, carries the information: sweep workers use it
+   as a filesystem mutex (claim markers).  The contents (pid/host/time
+   payload) are written after the O_EXCL create wins, so a concurrent
+   reader may briefly observe an empty claim — callers must treat an
+   unparsable payload as a fresh claim until its TTL expires, never as
+   corruption. *)
+let create_exclusive ~path contents =
+  mkdir_p (Filename.dirname path);
+  match Unix.openfile path [ O_WRONLY; O_CREAT; O_EXCL; O_CLOEXEC ] 0o644 with
+  | exception Unix.Unix_error (EEXIST, _, _) -> false
+  | exception Unix.Unix_error (e, _, _) ->
+      raise (Sys_error (path ^ ": " ^ Unix.error_message e))
+  | fd ->
+      let oc = Unix.out_channel_of_descr fd in
+      (match
+         output_string oc contents;
+         flush oc;
+         close_out oc
+       with
+      | () -> ()
+      | exception e ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          (try Sys.remove path with Sys_error _ -> ());
+          raise e);
+      true
+
+let modification_time path =
+  match Unix.stat path with
+  | { Unix.st_mtime; _ } -> Some st_mtime
+  | exception Unix.Unix_error _ -> None
+
 let remove path =
   try Unix.unlink path with
   | Unix.Unix_error (ENOENT, _, _) -> ()

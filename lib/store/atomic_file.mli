@@ -32,6 +32,24 @@ val write : ?fsync:bool -> path:string -> string -> unit
     is removed and the exception re-raised; [path] keeps its previous
     contents. *)
 
+val create_exclusive : path:string -> string -> bool
+(** [create_exclusive ~path contents] attempts to create [path] with
+    [O_CREAT|O_EXCL] — the POSIX primitive whose success is guaranteed
+    atomic even over NFS-style shared filesystems — and writes
+    [contents] into it on success.  Returns [true] when this process
+    created the file (it "won" the race), [false] when the file already
+    existed.  Unlike {!write}, the existence of the file is the signal:
+    sweep workers use it as a cooperative lock (claim marker).  A
+    concurrent reader can observe the file before [contents] lands, so
+    payloads are advisory; readers must tolerate short or empty files.
+    @raise Sys_error on genuine failures (permission denied, missing
+    parent that could not be created). *)
+
+val modification_time : string -> float option
+(** [mtime] of [path] in seconds since the epoch, or [None] when the
+    file is absent.  Used for TTL decisions on claim markers whose
+    payload is missing or unparsable. *)
+
 val remove : string -> unit
 (** Idempotent unlink: removing a file that does not exist is a no-op
     (other failures — e.g. permission denied — still raise). *)

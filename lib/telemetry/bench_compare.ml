@@ -101,6 +101,12 @@ let config_leaves =
     "domains";
     "processor_counts";
     "stripe";
+    (* Stage 8 (multi-process sweeps): units/sec at differing worker
+       counts, unit totals, or core counts are different experiments —
+       refuse a verdict rather than call one a regression. *)
+    "workers";
+    "units";
+    "physical_cores";
   ]
 
 let classify path =

@@ -62,8 +62,47 @@ if ! grep -q ", 0 computed" "$smoke/skip.log"; then
   status=1
 fi
 
+# -- multi-process worker smoke ------------------------------------------------
+# A 2-worker sweep must produce byte-identical CSVs; a SIGKILLed worker
+# must neither wedge the sweep (its claims are reaped) nor corrupt the
+# store (partial writes fail the checksum and are recomputed).
+echo "== sweep worker-mode smoke =="
+
+echo "-- 2-worker run, one worker SIGKILLed mid-sweep"
+CKPT_RESULTS_DIR="$smoke/w2" \
+  "$ckpt" sweep --resume "$smoke/w2_store" --workers 2 sweep-smoke \
+  > "$smoke/w2.log" 2>&1 &
+parent=$!
+sleep 1.0
+# The workers are re-exec'd children of the sweep parent; kill one.
+worker=$(pgrep -P "$parent" | head -1 || true)
+if [ -n "$worker" ]; then
+  kill -KILL "$worker" 2>/dev/null || true
+fi
+wait "$parent" 2>/dev/null || true
+
+echo "-- resume with 2 workers"
+CKPT_RESULTS_DIR="$smoke/w2" \
+  "$ckpt" sweep --resume "$smoke/w2_store" --workers 2 sweep-smoke \
+  > "$smoke/w2_resume.log"
+
+leftover=$(find "$smoke/w2_store" -name '*.claim' | wc -l)
+if [ "$leftover" -ne 0 ]; then
+  echo "FAIL: $leftover stale claim(s) left after the resumed worker sweep" >&2
+  status=1
+fi
+
+for ref_csv in "$smoke"/ref/*.csv; do
+  w2_csv="$smoke/w2/$(basename "$ref_csv")"
+  if ! cmp -s "$ref_csv" "$w2_csv"; then
+    echo "FAIL: 2-worker $(basename "$ref_csv") differs from the serial run" >&2
+    status=1
+  fi
+done
+
 if [ "$status" -eq 0 ]; then
   echo "sweep smoke: resumed tables byte-identical; completed units skipped"
+  echo "worker smoke: 2-worker sweep survived SIGKILL and matches serial bytes"
   echo "scheduler matrix: all three backends green"
 fi
 exit "$status"

@@ -363,6 +363,43 @@ let test_dp_makespan_bucket_table_canonical () =
     (plan ~seed_age:1050. ~query_age:1050.)
     (plan ~seed_age:700. ~query_age:1050.)
 
+let with_env name value f =
+  let previous = Sys.getenv_opt name in
+  Unix.putenv name value;
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv name (Option.value previous ~default:""))
+    f
+
+let test_dp_makespan_cache_lru_bound () =
+  (* A cap of 1 forces an eviction on every new (instance, bucket)
+     pair.  Eviction only discards solved tables — the re-solve happens
+     at the bucket's canonical age — so the prescribed chunks must be
+     bit-identical to the default (roomy) cache, and occupancy must
+     never exceed the cap. *)
+  let j = sequential_job in
+  let ages = [ 0.; 900.; 3600.; 14400.; 86400. ] in
+  let walk () =
+    let policy = Dp_policies.dp_makespan j in
+    let i = policy.Policy.instantiate () in
+    List.map
+      (fun age ->
+        match
+          i
+            (observation ~phase:Policy.Start ~remaining:j.Job.work_time ~min_age:age
+               ~ages:[| age |] ())
+        with
+        | Some chunk -> chunk
+        | None -> Alcotest.failf "DPMakespan declined at age %.0f" age)
+      ages
+  in
+  let roomy = walk () in
+  check Alcotest.bool "walk touches several buckets" true
+    (Dp_policies.table_cache_size () > 1);
+  let capped = with_env "CKPT_DP_CACHE_CAP" "1" walk in
+  check (Alcotest.list (Alcotest.float 0.)) "capped cache is bit-identical" roomy capped;
+  check Alcotest.bool "occupancy bounded by the cap" true
+    (Dp_policies.table_cache_size () <= 1)
+
 (* -- schedule ------------------------------------------------------------------------ *)
 
 module Schedule = Ckpt_policies.Schedule
@@ -466,5 +503,7 @@ let () =
             test_dp_makespan_recovers_after_failure;
           Alcotest.test_case "dpm bucket table is canonical" `Quick
             test_dp_makespan_bucket_table_canonical;
+          Alcotest.test_case "dpm table cache LRU bound" `Quick
+            test_dp_makespan_cache_lru_bound;
         ] );
     ]

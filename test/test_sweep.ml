@@ -299,6 +299,192 @@ let test_vectors_resume () =
       check Alcotest.int "distinct kind computes afresh" 3 s3.Sweep_store.computed;
       check Alcotest.(array (float 0.)) "floats unaffected" (Array.init 5 float_of_int) floats)
 
+(* -- claim protocol and worker mode ------------------------------------------ *)
+
+let test_create_exclusive () =
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "unit.part.claim" in
+  Alcotest.(check bool) "first create wins" true (Atomic_file.create_exclusive ~path "a");
+  Alcotest.(check bool) "second create loses" false (Atomic_file.create_exclusive ~path "b");
+  check Alcotest.(option string) "winner's payload intact" (Some "a") (Atomic_file.read path);
+  Atomic_file.remove path;
+  Alcotest.(check bool) "create after release wins again" true
+    (Atomic_file.create_exclusive ~path "c");
+  Alcotest.(check bool) "mtime readable" true
+    (Option.is_some (Atomic_file.modification_time path));
+  check
+    Alcotest.(option (float 0.))
+    "mtime of missing file" None
+    (Atomic_file.modification_time (Filename.concat dir "absent"))
+
+let test_claim_staleness () =
+  let dir = fresh_dir () in
+  let host = Unix.gethostname () in
+  let now = Unix.gettimeofday () in
+  let claim name ~pid ~host ~time =
+    let path = Filename.concat dir name in
+    Sweep_store.Claim.write ~path ~pid ~host ~time;
+    path
+  in
+  let live = claim "live.claim" ~pid:(Unix.getpid ()) ~host ~time:now in
+  Alcotest.(check bool) "live same-host claim is fresh" false
+    (Sweep_store.Claim.stale ~now live);
+  (* A SIGKILLed worker leaves exactly this: same host, dead pid. *)
+  let dead = claim "dead.claim" ~pid:999_999_999 ~host ~time:now in
+  Alcotest.(check bool) "dead-pid same-host claim is stale" true
+    (Sweep_store.Claim.stale ~now dead);
+  let foreign = claim "foreign.claim" ~pid:999_999_999 ~host:"elsewhere.example" ~time:now in
+  Alcotest.(check bool) "fresh foreign-host claim is kept (no pid check)" false
+    (Sweep_store.Claim.stale ~now foreign);
+  Alcotest.(check bool) "expired foreign-host claim is stale" true
+    (Sweep_store.Claim.stale ~now:(now +. Sweep_store.Claim.ttl () +. 1.) foreign);
+  with_env "CKPT_SWEEP_CLAIM_TTL" "60" (fun () ->
+      check Alcotest.(float 0.) "ttl is env-tunable" 60. (Sweep_store.Claim.ttl ());
+      Alcotest.(check bool) "stale under the shorter ttl" true
+        (Sweep_store.Claim.stale ~now:(now +. 61.) foreign));
+  (* A claim whose payload has not landed yet (torn write) ages from
+     its mtime instead of being treated as corrupt. *)
+  let torn = Filename.concat dir "torn.claim" in
+  Atomic_file.write ~path:torn "";
+  Alcotest.(check bool) "empty payload is fresh now" false
+    (Sweep_store.Claim.stale ~now:(Unix.gettimeofday ()) torn);
+  Alcotest.(check bool) "empty payload ages out" true
+    (Sweep_store.Claim.stale
+       ~now:(Unix.gettimeofday () +. Sweep_store.Claim.ttl () +. 1.)
+       torn);
+  Alcotest.(check bool) "missing claim is not stale" false
+    (Sweep_store.Claim.stale ~now (Filename.concat dir "absent.claim"))
+
+let plant_live_claim path =
+  Sweep_store.Claim.write
+    ~path:(Sweep_store.Claim.path path)
+    ~pid:(Unix.getpid ())
+    ~host:(Unix.gethostname ())
+    ~time:(Unix.gettimeofday ())
+
+let in_worker_mode f =
+  Sweep_store.set_worker_mode true;
+  Fun.protect ~finally:(fun () -> Sweep_store.set_worker_mode false) f
+
+let test_worker_mode_claims () =
+  with_env "CKPT_SWEEP_STRIPE" "2" (fun () ->
+      let refdir = fresh_dir () in
+      let reference = run_store ~dir:refdir ~replicates:6 () in
+      let dir = fresh_dir () in
+      let store = Sweep_store.create ~dir in
+      in_worker_mode (fun () ->
+          let t, s = stats_since (fun () -> run_store ~dir ~replicates:6 ()) in
+          check Alcotest.int "lone worker computed every unit" 3 s.Sweep_store.computed;
+          check Alcotest.int "one claim won per unit" 3 s.Sweep_store.claimed;
+          check Alcotest.int "no busy units" 0 s.Sweep_store.busy;
+          Alcotest.(check bool) "lone worker reproduces the table" true
+            (compare reference t = 0));
+      check Alcotest.int "claims all released" 0 (List.length (Sweep_store.claims store));
+      (* The enumeration API sees what the sweep wrote. *)
+      let units = Sweep_store.units store in
+      check Alcotest.(list int) "unit stripes enumerated" [ 0; 1; 2 ]
+        (List.map (fun u -> u.Sweep_store.u_stripe) units);
+      List.iter
+        (fun u ->
+          check Alcotest.string "experiment parsed" "unit_test" u.Sweep_store.u_experiment;
+          check Alcotest.int "digest is 32 hex chars" 32
+            (String.length u.Sweep_store.u_digest))
+        units;
+      (* Simulate a live competing worker mid-compute on one unit:
+         result absent, claim fresh and owned by a live pid. *)
+      let victim = List.hd units in
+      Atomic_file.remove victim.Sweep_store.u_path;
+      plant_live_claim victim.Sweep_store.u_path;
+      in_worker_mode (fun () ->
+          let _, s = stats_since (fun () -> run_store ~dir ~replicates:6 ()) in
+          check Alcotest.int "held unit skipped as busy" 1 s.Sweep_store.busy;
+          check Alcotest.int "other units loaded" 2 s.Sweep_store.skipped;
+          check Alcotest.int "nothing computed through a live claim" 0
+            s.Sweep_store.computed);
+      (* The canonical (non-worker) pass ignores claims entirely. *)
+      let t, s = stats_since (fun () -> run_store ~dir ~replicates:6 ()) in
+      check Alcotest.int "parent recomputed through the claim" 1 s.Sweep_store.computed;
+      Alcotest.(check bool) "canonical merge == reference" true (compare reference t = 0);
+      check Alcotest.int "leftover claim reaped" 1 (Sweep_store.reap_claims ~all:true store);
+      check Alcotest.int "store clean" 0 (List.length (Sweep_store.claims store)))
+
+let test_worker_mode_reaps_dead_claims () =
+  with_env "CKPT_SWEEP_STRIPE" "2" (fun () ->
+      let dir = fresh_dir () in
+      let store = Sweep_store.create ~dir in
+      let reference, _ = stats_since (fun () -> run_store ~dir ~replicates:6 ()) in
+      (match Sweep_store.units store with
+      | missing :: corrupt :: _ ->
+          (* Unit 0: a worker died before persisting — no result, dead
+             claim.  Unit 1: it died mid-write badly enough to corrupt
+             the file (simulated), dead claim on top — the checksum
+             path must still invalidate it under re-claim. *)
+          Atomic_file.remove missing.Sweep_store.u_path;
+          Sweep_store.Claim.write
+            ~path:(Sweep_store.Claim.path missing.Sweep_store.u_path)
+            ~pid:999_999_999 ~host:(Unix.gethostname ()) ~time:(Unix.gettimeofday ());
+          Atomic_file.write ~path:corrupt.Sweep_store.u_path
+            "ckpt-sweep/1 bogus stripe=0\nx";
+          Sweep_store.Claim.write
+            ~path:(Sweep_store.Claim.path corrupt.Sweep_store.u_path)
+            ~pid:999_999_999 ~host:(Unix.gethostname ()) ~time:(Unix.gettimeofday ())
+      | _ -> Alcotest.fail "expected 3 units");
+      in_worker_mode (fun () ->
+          let t, s = stats_since (fun () -> run_store ~dir ~replicates:6 ()) in
+          check Alcotest.int "both dead claims reaped" 2 s.Sweep_store.reaped;
+          check Alcotest.int "both units recomputed" 2 s.Sweep_store.computed;
+          check Alcotest.int "corrupt unit invalidated by checksum" 1
+            s.Sweep_store.invalidated;
+          check Alcotest.int "no unit left busy" 0 s.Sweep_store.busy;
+          Alcotest.(check bool) "recovered table == reference" true
+            (compare reference t = 0));
+      check Alcotest.int "no claims left" 0 (List.length (Sweep_store.claims store)))
+
+let prop_worker_partition =
+  (* Emulated N-worker sweep over a random study shape: unit ownership
+     is arbitrated by real claim files (each emulated worker's pass
+     sees live foreign claims on everyone else's stripes), then the
+     canonical pass merges.  Must equal the serial table bit for bit
+     for any (replicates, stripe width, N). *)
+  QCheck2.Test.make ~name:"emulated N-worker sweep == serial, byte for byte" ~count:6
+    QCheck2.Gen.(triple (int_range 1 10) (int_range 1 3) (oneofl [ 1; 2; 4 ]))
+    (fun (replicates, stripe, workers) ->
+      with_env "CKPT_SWEEP_STRIPE" (string_of_int stripe) (fun () ->
+          let refdir = fresh_dir () in
+          let reference = run_store ~dir:refdir ~replicates () in
+          let layout = Sweep_store.units (Sweep_store.create ~dir:refdir) in
+          let dir = fresh_dir () in
+          let store = Sweep_store.create ~dir in
+          let owner u = u.Sweep_store.u_stripe mod workers in
+          let ok = ref true in
+          for k = 0 to workers - 1 do
+            let planted =
+              List.filter_map
+                (fun u ->
+                  if owner u = k then None
+                  else begin
+                    let path =
+                      Filename.concat dir (Filename.basename u.Sweep_store.u_path)
+                    in
+                    plant_live_claim path;
+                    Some (Sweep_store.Claim.path path)
+                  end)
+                layout
+            in
+            in_worker_mode (fun () ->
+                let _, s = stats_since (fun () -> run_store ~dir ~replicates ()) in
+                let owned =
+                  List.length (List.filter (fun u -> owner u = k) layout)
+                in
+                if s.Sweep_store.computed <> owned then ok := false);
+            List.iter Atomic_file.remove planted
+          done;
+          let merged = run_store ~dir ~replicates () in
+          !ok
+          && Sweep_store.claims store = []
+          && List.length (Sweep_store.units store) = List.length layout
+          && compare reference merged = 0))
+
 let () =
   Alcotest.run "sweep"
     [
@@ -323,5 +509,15 @@ let () =
           QCheck_alcotest.to_alcotest prop_prefix_resume;
           Alcotest.test_case "floats resume" `Quick test_floats_resume;
           Alcotest.test_case "vectors resume" `Quick test_vectors_resume;
+        ] );
+      ( "claims",
+        [
+          Alcotest.test_case "exclusive create" `Quick test_create_exclusive;
+          Alcotest.test_case "claim staleness" `Quick test_claim_staleness;
+          Alcotest.test_case "worker mode claims and busy-skip" `Quick
+            test_worker_mode_claims;
+          Alcotest.test_case "dead claims reaped under re-claim" `Quick
+            test_worker_mode_reaps_dead_claims;
+          QCheck_alcotest.to_alcotest prop_worker_partition;
         ] );
     ]

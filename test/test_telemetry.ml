@@ -662,6 +662,31 @@ let test_bench_diff_stripe_is_config () =
           check Alcotest.bool "mismatch names stripe" true
             (List.exists (contains ~needle:"stripe") v.Bench_compare.v_config_mismatches))
 
+(* Stage 8 (multi-process sweeps): units/sec at different worker counts
+   are different experiments, not a speed delta. *)
+let sweep_bench_artifact ~workers ~ups =
+  Printf.sprintf
+    {|{"bench": "sweep-workers", "replicates": 16, "stripe": 4, "units": 12, "physical_cores": 4, "curve": [ { "workers": %d, "seconds": 2.0, "units_per_sec": %g, "speedup": 1.0, "oversubscribed": false } ], "byte_identical": true}|}
+    workers ups
+
+let test_bench_diff_workers_is_config () =
+  with_temp_dir (fun dir ->
+      let old_p = Filename.concat dir "BENCH_sweep_old.json" in
+      let new_p = Filename.concat dir "BENCH_sweep_new.json" in
+      write_file old_p (sweep_bench_artifact ~workers:2 ~ups:6.);
+      write_file (old_p ^ ".meta.json") (bench_sidecar ~domains:4);
+      (* Twice the throughput at twice the workers: a different
+         experiment, not an improvement. *)
+      write_file new_p (sweep_bench_artifact ~workers:4 ~ups:12.);
+      write_file (new_p ^ ".meta.json") (bench_sidecar ~domains:4);
+      match Bench_compare.diff ~old_path:old_p ~new_path:new_p () with
+      | Error e -> Alcotest.failf "diff failed: %s" e
+      | Ok v ->
+          check Alcotest.int "incomparable exit code" Bench_compare.exit_incomparable
+            (Bench_compare.exit_code v);
+          check Alcotest.bool "mismatch names workers" true
+            (List.exists (contains ~needle:"workers") v.Bench_compare.v_config_mismatches))
+
 let test_bench_diff_incomparable () =
   with_temp_dir (fun dir ->
       let old_p = Filename.concat dir "BENCH_old.json" in
@@ -775,6 +800,8 @@ let () =
           Alcotest.test_case "replicates_per_sec is higher-better" `Quick
             test_bench_diff_replicates_per_sec_higher_better;
           Alcotest.test_case "stripe is configuration" `Quick test_bench_diff_stripe_is_config;
+          Alcotest.test_case "workers is configuration" `Quick
+            test_bench_diff_workers_is_config;
           Alcotest.test_case "sidecar disagreement" `Quick test_bench_diff_incomparable;
           Alcotest.test_case "unreadable input errors" `Quick test_bench_diff_unreadable;
           Alcotest.test_case "check validates artifacts" `Quick test_bench_check;
